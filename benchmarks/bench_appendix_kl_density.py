@@ -1,0 +1,64 @@
+"""Appendix A.1 — FP8 value-density analysis and the KL-clipping pathology for FP8."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.density import density_at, representable_count_in_range
+from repro.fp8.quantize import quantize_dequantize
+from repro.quantization.observers import KLObserver, MinMaxObserver
+from repro.quantization.qconfig import QuantFormat, TensorQuantConfig
+
+
+def density_rows():
+    rows = []
+    for value in (0.1, 0.5, 1.0, 2.0, 4.0):
+        rows.append(
+            {
+                "N": value,
+                "D E5M2": float(density_at(E5M2, value)),
+                "D E4M3": float(density_at(E4M3, value)),
+                "D E3M4": float(density_at(E3M4, value)),
+            }
+        )
+    return rows
+
+
+def kl_vs_max_rows(seed=0):
+    """The Figure 10 demo: KL clipping hurts FP8 because its grid is already dense near zero."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 1.0, 50_000)
+    outliers = rng.uniform(5.5, 6.0, 500)
+    data = np.concatenate([data, outliers])
+
+    rows = []
+    for observer_cls, name in ((MinMaxObserver, "max scaling"), (KLObserver, "KL clipping")):
+        obs = observer_cls(TensorQuantConfig(fmt=QuantFormat.E4M3, observer="minmax"))
+        obs.observe(data)
+        absmax = float(obs.calibrated_absmax())
+        clipped = np.clip(data, -absmax, absmax)
+        scale = E4M3.max_value / absmax
+        q = quantize_dequantize(clipped, E4M3, scale=np.asarray(scale))
+        rows.append(
+            {
+                "Calibration": name,
+                "clip threshold": absmax,
+                "MSE": float(np.mean((q - data) ** 2)),
+            }
+        )
+    return rows
+
+
+def test_appendix_density_and_kl(benchmark):
+    rows = benchmark.pedantic(kl_vs_max_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(density_rows(), title="Appendix A.1: representable-value density (Eq. 4)"))
+    print()
+    print(format_table(rows, title="Appendix A.1 / Figure 10: max scaling vs KL clipping for E4M3"))
+    # density doubles with every extra mantissa bit
+    assert float(density_at(E3M4, 1.0)) == 2 * float(density_at(E4M3, 1.0))
+    # near zero, FP8 has far more representable values than it has near the max
+    assert representable_count_in_range(E4M3, -1, 1) > representable_count_in_range(E4M3, 300, 448)
+    # on this outlier-heavy tensor, aggressive KL clipping must not beat max scaling by much
+    by_name = {r["Calibration"]: r["MSE"] for r in rows}
+    assert by_name["max scaling"] <= by_name["KL clipping"] * 1.5

@@ -1,0 +1,51 @@
+"""Section 4.3.1 — pass-rate impact of quantizing the first and last operators of CNNs."""
+
+import numpy as np
+
+from repro.evaluation import evaluate_recipe_on_task
+from repro.evaluation.reporting import format_table
+from repro.models.registry import build_task
+from repro.quantization import standard_recipe
+
+CNN_TASKS = ["resnet18-imagenet", "densenet121-imagenet", "mobilenet-v2-imagenet", "efficientnet-b0-imagenet"]
+
+
+def first_last_rows():
+    rows = []
+    for fmt in ("E5M2", "E4M3", "E3M4"):
+        for quantize_first_last in (False, True):
+            recipe = standard_recipe(
+                fmt,
+                skip_first_operator=not quantize_first_last,
+                skip_last_operator=not quantize_first_last,
+                name=f"{fmt}-{'all' if quantize_first_last else 'skip'}",
+            )
+            passed, losses = [], []
+            for task in CNN_TASKS:
+                bundle = build_task(task)
+                record = evaluate_recipe_on_task(bundle, recipe)
+                passed.append(record.passed)
+                losses.append(record.relative_loss)
+            rows.append(
+                {
+                    "Format": fmt,
+                    "first/last quantized": "yes" if quantize_first_last else "no",
+                    "Pass rate": float(np.mean(passed)),
+                    "mean loss %": float(np.mean(losses)) * 100,
+                }
+            )
+    return rows
+
+
+def test_first_last_operator_discussion(benchmark):
+    rows = benchmark.pedantic(first_last_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Section 4.3.1: quantizing first & last CNN operators"))
+
+    def loss(fmt, quantized):
+        return next(
+            r["mean loss %"] for r in rows if r["Format"] == fmt and r["first/last quantized"] == quantized
+        )
+
+    # quantizing the first/last operators should not *help* accuracy for the narrow-mantissa formats
+    assert loss("E5M2", "yes") >= loss("E5M2", "no") - 0.5

@@ -1,0 +1,38 @@
+"""Figure 1 — quantization error of FP8 formats vs INT8 on an outlier-contaminated Gaussian."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.int8 import int8_quantize_dequantize
+from repro.fp8.quantize import quantize_dequantize
+
+
+def make_tensor(n=200_000, outlier_fraction=0.01, seed=0):
+    """X ~ N(0, 0.5) with 1% outliers uniform in [-6, 6] (the Figure 1 setup)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, np.sqrt(0.5), n)
+    n_out = int(n * outlier_fraction)
+    x[:n_out] = rng.uniform(-6.0, 6.0, n_out)
+    return x
+
+
+def figure1_rows(x):
+    rows = []
+    for fmt in (E5M2, E4M3, E3M4):
+        q = quantize_dequantize(x, fmt)
+        rows.append({"Format": fmt.name, "MSE": float(np.mean((q - x) ** 2))})
+    q8 = int8_quantize_dequantize(x)
+    rows.append({"Format": "INT8", "MSE": float(np.mean((q8 - x) ** 2))})
+    return rows
+
+
+def test_figure1_outlier_mse(benchmark):
+    x = make_tensor()
+    rows = benchmark.pedantic(lambda: figure1_rows(x), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 1: MSE on N(0, 0.5) with 1% outliers in [-6, 6]"))
+    mse = {row["Format"]: row["MSE"] for row in rows}
+    # the paper's qualitative ordering: E3M4 best, E5M2 worst among FP8; E3M4 beats INT8
+    assert mse["E3M4"] < mse["INT8"]
+    assert mse["E3M4"] < mse["E4M3"] < mse["E5M2"]

@@ -1,0 +1,74 @@
+"""Figure 3 — tensor distribution classes: range-bound NLP activations vs precision-bound CV tensors."""
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.evaluation.reporting import format_table
+from repro.nn.layers import Linear
+from repro.nn.norm import LayerNorm
+from repro.quantization.mixed import classify_tensor, kurtosis
+
+
+def capture_activations(bundle, module_types, limit=3):
+    captured = {}
+    handles = []
+    for name, module in bundle.model.named_modules():
+        if isinstance(module, module_types) and len(handles) < limit:
+            handles.append(
+                module.register_forward_hook(
+                    lambda m, i, o, key=name: captured.setdefault(key, o.data.copy())
+                )
+            )
+    with no_grad():
+        bundle.model(bundle.prepare_inputs(bundle.eval_data.inputs[:64]))
+    for handle in handles:
+        handle.remove()
+    return captured
+
+
+def distribution_rows(bundle, domain, module_types):
+    rows = []
+    acts = capture_activations(bundle, module_types)
+    for name, act in acts.items():
+        rows.append(
+            {
+                "domain": domain,
+                "tensor": f"activation {name}",
+                "absmax": float(np.abs(act).max()),
+                "p99": float(np.percentile(np.abs(act), 99)),
+                "kurtosis": kurtosis(act),
+                "class": classify_tensor(act),
+            }
+        )
+    # a representative weight tensor
+    for name, module in bundle.model.named_modules():
+        if isinstance(module, Linear):
+            w = module.weight.data
+            rows.append(
+                {
+                    "domain": domain,
+                    "tensor": f"weight {name}",
+                    "absmax": float(np.abs(w).max()),
+                    "p99": float(np.percentile(np.abs(w), 99)),
+                    "kurtosis": kurtosis(w),
+                    "class": classify_tensor(w),
+                }
+            )
+            break
+    return rows
+
+
+def test_figure3_tensor_distributions(benchmark, bert_bundle, cnn_bundle):
+    def run():
+        rows = distribution_rows(bert_bundle, "nlp", LayerNorm)
+        rows += distribution_rows(cnn_bundle, "cv", Linear)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 3: tensor distribution classes"))
+    nlp_act = [r for r in rows if r["domain"] == "nlp" and r["tensor"].startswith("activation")]
+    weights = [r for r in rows if r["tensor"].startswith("weight")]
+    # NLP activations (with injected outliers) are range-bound; weights are precision-bound
+    assert any(r["class"] == "range-bound" for r in nlp_act)
+    assert all(r["class"] == "precision-bound" for r in weights)

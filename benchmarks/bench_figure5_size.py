@@ -1,0 +1,30 @@
+"""Figure 5 — accuracy loss grouped by model size class (tiny/small/medium/large)."""
+
+from repro.evaluation.reporting import format_table
+
+CONFIGS = ["E5M2-direct", "E4M3-static", "E3M4-static", "INT8"]
+
+
+def figure5_rows(report):
+    rows = []
+    for config in CONFIGS:
+        for size, stats in sorted(report.by_size_class(config).items()):
+            rows.append(
+                {
+                    "config": config,
+                    "size class": size,
+                    "mean loss %": stats["mean_loss"] * 100,
+                    "max loss %": stats["max_loss"] * 100,
+                    "models": stats["count"],
+                }
+            )
+    return rows
+
+
+def test_figure5_accuracy_loss_by_model_size(benchmark, sweep_report):
+    rows = benchmark.pedantic(lambda: figure5_rows(sweep_report), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 5: accuracy loss by model size class"))
+    assert rows
+    # every size class that appears is one of the paper's four bins
+    assert {r["size class"] for r in rows} <= {"tiny", "small", "medium", "large"}

@@ -1,0 +1,57 @@
+"""Figure 7 — BatchNorm calibration: calibration sample size × data augmentation transform."""
+
+from repro.evaluation.reporting import format_table
+from repro.quantization import extended_recipe, quantize_model, relative_accuracy_loss
+
+SWEEP = [
+    (300, "training"),
+    (1000, "training"),
+    (3000, "training"),
+    (1000, "inference"),
+    (3000, "inference"),
+]
+
+
+def figure7_rows(bundle):
+    rows = []
+    for num_samples, transform in SWEEP:
+        recipe = extended_recipe(
+            "E3M4",
+            batchnorm_calibration=True,
+            name=f"bncal-{num_samples}-{transform}",
+        )
+        recipe.bn_calibration_samples = num_samples
+        recipe.bn_calibration_transform = transform
+        result = quantize_model(
+            bundle.model,
+            recipe,
+            calibration_data=bundle.train_data,
+            prepare_inputs=bundle.prepare_inputs,
+            is_convolutional=True,
+        )
+        metric = bundle.evaluate(result.model)
+        rows.append(
+            {
+                "samples": num_samples,
+                "transform": transform,
+                "accuracy": metric,
+                "loss %": relative_accuracy_loss(bundle.fp32_metric, metric) * 100,
+            }
+        )
+    return rows
+
+
+def test_figure7_batchnorm_calibration(benchmark, densenet_bundle):
+    rows = benchmark.pedantic(lambda: figure7_rows(densenet_bundle), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Figure 7: BatchNorm calibration on {densenet_bundle.spec.name} "
+            f"(fp32={densenet_bundle.fp32_metric:.4f})",
+        )
+    )
+    # the training transform at 3k samples (the paper's recommendation) must be competitive:
+    best = min(r["loss %"] for r in rows)
+    rec = next(r for r in rows if r["samples"] == 3000 and r["transform"] == "training")
+    assert rec["loss %"] <= best + 2.0

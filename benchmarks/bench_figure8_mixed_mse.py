@@ -1,0 +1,62 @@
+"""Figure 8 — MSE of a Linear operator's input/weight/output under single vs mixed FP8 formats."""
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.evaluation.reporting import format_table
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.quantize import quantize_dequantize
+from repro.nn.layers import Linear
+
+
+def capture_fc1(bundle):
+    """Capture the input activation and weight of the first FFN Linear (BERT fc1)."""
+    target_name = next(
+        name for name, m in bundle.model.named_modules() if name.endswith("fc1") and isinstance(m, Linear)
+    )
+    module = bundle.model.get_submodule(target_name)
+    captured = {}
+    handle = module.register_forward_hook(
+        lambda m, inputs, output: captured.setdefault("input", inputs[0].data.copy())
+    )
+    with no_grad():
+        bundle.model(bundle.prepare_inputs(bundle.eval_data.inputs[:64]))
+    handle.remove()
+    return captured["input"], module.weight.data.copy()
+
+
+def figure8_rows(activation, weight):
+    act2d = activation.reshape(-1, activation.shape[-1])
+    ref_out = act2d @ weight.T
+    configs = [
+        ("E5M2", E5M2, E5M2),
+        ("E4M3", E4M3, E4M3),
+        ("E3M4", E3M4, E3M4),
+        ("Mixed (E4M3 act / E3M4 wt)", E4M3, E3M4),
+    ]
+    rows = []
+    for name, act_fmt, w_fmt in configs:
+        q_act = quantize_dequantize(act2d, act_fmt)
+        q_w = quantize_dequantize(weight, w_fmt, axis=0)
+        q_out = q_act @ q_w.T
+        rows.append(
+            {
+                "Formats": name,
+                "Input MSE": float(np.mean((q_act - act2d) ** 2)),
+                "Weight MSE": float(np.mean((q_w - weight) ** 2)),
+                "Output MSE": float(np.mean((q_out - ref_out) ** 2)),
+            }
+        )
+    return rows
+
+
+def test_figure8_mixed_format_mse(benchmark, bert_bundle):
+    activation, weight = capture_fc1(bert_bundle)
+    rows = benchmark.pedantic(lambda: figure8_rows(activation, weight), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 8: MSE with mixed vs single FP8 formats (BERT fc1)"))
+    by_name = {r["Formats"]: r for r in rows}
+    mixed = by_name["Mixed (E4M3 act / E3M4 wt)"]
+    # mixed formats combine the best of both: output error no worse than either uniform choice
+    assert mixed["Output MSE"] <= by_name["E5M2"]["Output MSE"] + 1e-9
+    assert mixed["Weight MSE"] <= by_name["E4M3"]["Weight MSE"] + 1e-9

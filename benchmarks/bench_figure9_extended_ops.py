@@ -1,0 +1,75 @@
+"""Figure 9 — accuracy impact of the extended operator coverage.
+
+CV models: the standard scheme (first/last kept in FP32) vs quantizing the
+first and last operators too.  NLP models: Conv/Linear only vs adding
+BatchMatMul, Embedding and LayerNorm coverage.
+"""
+
+import numpy as np
+
+from repro.evaluation import evaluate_recipe_on_task
+from repro.evaluation.reporting import format_table
+from repro.models.registry import build_task
+from repro.quantization import Approach, extended_recipe, int8_recipe, standard_recipe
+
+CV_TASKS = ["resnet18-imagenet", "mobilenet-v2-imagenet"]
+NLP_TASKS = ["bert-base-mrpc", "distilbert-mrpc", "bloom-7b1-lambada"]
+
+
+def cv_configs():
+    out = []
+    for fmt in ("E5M2", "E4M3", "E3M4"):
+        out.append((f"{fmt} (skip first/last)", standard_recipe(fmt)))
+        out.append(
+            (
+                f"{fmt} (- first/last kept quantized)",
+                standard_recipe(fmt, skip_first_operator=False, skip_last_operator=False),
+            )
+        )
+    out.append(("INT8 (skip first/last)", int8_recipe()))
+    return out
+
+
+def nlp_configs():
+    out = []
+    for fmt, approach in (("E5M2", Approach.STATIC), ("E4M3", Approach.STATIC), ("E4M3", Approach.DYNAMIC), ("E3M4", Approach.STATIC)):
+        out.append((f"{fmt}-{approach.value} (Conv,Linear)", standard_recipe(fmt, approach=approach)))
+        out.append(
+            (
+                f"{fmt}-{approach.value} (+BMM,Emb,LayerNorm)",
+                extended_recipe(fmt, approach=approach, batchnorm_calibration=False),
+            )
+        )
+    out.append(("INT8-dynamic (Conv,Linear)", int8_recipe(approach=Approach.DYNAMIC)))
+    return out
+
+
+def figure9_rows(tasks, configs, domain):
+    rows = []
+    for name, recipe in configs:
+        losses = []
+        for task in tasks:
+            bundle = build_task(task)
+            record = evaluate_recipe_on_task(bundle, recipe, config_name=name)
+            losses.append(record.relative_loss)
+        rows.append(
+            {
+                "domain": domain,
+                "operator coverage": name,
+                "mean loss %": float(np.mean(losses)) * 100,
+                "max loss %": float(np.max(losses)) * 100,
+            }
+        )
+    return rows
+
+
+def test_figure9_extended_operator_coverage(benchmark):
+    def run():
+        return figure9_rows(CV_TASKS, cv_configs(), "CV") + figure9_rows(NLP_TASKS, nlp_configs(), "NLP")
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 9: accuracy impact of extended operator coverage"))
+    nlp_rows = {r["operator coverage"]: r for r in rows if r["domain"] == "NLP"}
+    # expanding operator coverage with E4M3 must not collapse accuracy (stays within a few %)
+    assert nlp_rows["E4M3-static (+BMM,Emb,LayerNorm)"]["mean loss %"] < 5.0

@@ -1,0 +1,37 @@
+"""Table 1 — FP8 binary format properties, plus the raw cost of the FP8 cast kernel."""
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.quantize import fp8_round
+
+
+def table1_rows():
+    rows = []
+    for fmt in (E5M2, E4M3, E3M4):
+        row = fmt.describe()
+        rows.append(
+            {
+                "Format": row["format"],
+                "Exponent bias": row["exponent_bias"],
+                "Max value": row["max_value"],
+                "Min value": row["min_value"],
+                "Subnormals": "yes",
+                "NaNs": row["nans"],
+                "Infinity": "yes" if row["infinity"] else "no",
+            }
+        )
+    return rows
+
+
+def test_table1_format_properties(benchmark):
+    x = np.random.default_rng(0).normal(0, 1, 1_000_000)
+    benchmark.pedantic(lambda: fp8_round(x, E4M3), rounds=3, iterations=1)
+    rows = table1_rows()
+    print()
+    print(format_table(rows, title="Table 1: FP8 binary formats"))
+    # sanity: the paper's numbers
+    assert rows[0]["Max value"] == 57344.0
+    assert rows[1]["Max value"] == 448.0
+    assert rows[2]["Max value"] == 30.0

@@ -1,0 +1,16 @@
+"""Table 2 — workload pass rate per data format and quantization approach."""
+
+from repro.evaluation.reporting import format_pass_rate_table
+
+
+def test_table2_workload_pass_rate(benchmark, sweep_report):
+    rows = benchmark.pedantic(sweep_report.summary_rows, rounds=1, iterations=1)
+    print()
+    print(format_pass_rate_table(sweep_report, title="Table 2: workload pass rate"))
+
+    by_fmt = {row["Data Type"]: row for row in rows}
+    # Paper's headline claims (directional): FP8 beats INT8 on overall coverage,
+    # and E4M3 has the best NLP coverage.
+    assert by_fmt["E4M3"]["Pass Rate (All)"] >= by_fmt["INT8"]["Pass Rate (All)"]
+    assert by_fmt["E4M3"]["Pass Rate (NLP)"] >= by_fmt["INT8"]["Pass Rate (NLP)"]
+    assert by_fmt["E4M3"]["Pass Rate (NLP)"] >= by_fmt["E5M2"]["Pass Rate (NLP)"]

@@ -1,0 +1,48 @@
+"""Table 3 — accuracy of representative models per data format (derived from the sweep)."""
+
+from repro.evaluation.reporting import format_table
+
+REPRESENTATIVE = [
+    "resnet18-imagenet",
+    "densenet121-imagenet",
+    "wav2vec2-librispeech",
+    "dlrm-criteo",
+    "bert-base-mrpc",
+    "bert-large-rte",
+    "distilbert-mrpc",
+    "bloom-7b1-lambada",
+    "bloom-176b-lambada",
+    "llama-65b-lambada",
+]
+
+COLUMN_CONFIGS = {
+    "E5M2": "E5M2-direct",
+    "E4M3": "E4M3-static",
+    "E3M4": "E3M4-static",
+    "INT8": "INT8",
+}
+
+
+def table3_rows(report):
+    rows = []
+    for task in REPRESENTATIVE:
+        records = [r for r in report.records if r.task == task]
+        if not records:
+            continue
+        row = {"Model": task, "FP32": records[0].fp32_metric}
+        for label, config in COLUMN_CONFIGS.items():
+            match = [r for r in records if r.config == config]
+            row[label] = match[0].quantized_metric if match else float("nan")
+        rows.append(row)
+    return rows
+
+
+def test_table3_model_accuracy(benchmark, sweep_report):
+    rows = benchmark.pedantic(lambda: table3_rows(sweep_report), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 3: accuracy of representative models"))
+    assert rows, "sweep did not cover any representative task"
+    # FP8 stays close to FP32 on the representative set (within 3% relative on average)
+    for label in ("E4M3", "E3M4"):
+        rel = [abs(r["FP32"] - r[label]) / r["FP32"] for r in rows]
+        assert sum(rel) / len(rel) < 0.03

@@ -1,0 +1,35 @@
+"""Table 5 — model accuracy with single vs mixed FP8 formats on NLP workloads."""
+
+from repro.evaluation import evaluate_recipe_on_task
+from repro.evaluation.reporting import format_table
+from repro.models.registry import build_task
+from repro.quantization import standard_recipe
+from repro.quantization.mixed import assign_mixed_formats
+
+TASKS = ["bert-base-mrpc", "bert-large-rte", "funnel-mrpc", "longformer-mrpc"]
+
+
+def table5_rows():
+    rows = []
+    for task in TASKS:
+        bundle = build_task(task)
+        row = {"Model": task, "FP32": bundle.fp32_metric}
+        for label, recipe in [
+            ("E5M2", standard_recipe("E5M2")),
+            ("E4M3", standard_recipe("E4M3")),
+            ("E3M4", standard_recipe("E3M4")),
+            ("Mixed", assign_mixed_formats(standard_recipe("E4M3"))),
+        ]:
+            record = evaluate_recipe_on_task(bundle, recipe, config_name=label)
+            row[label] = record.quantized_metric
+        rows.append(row)
+    return rows
+
+
+def test_table5_single_vs_mixed_formats(benchmark):
+    rows = benchmark.pedantic(table5_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 5: single vs mixed FP8 formats on NLP models"))
+    # mixed formats should be competitive with the best single format on average
+    diffs = [row["Mixed"] - max(row["E5M2"], row["E4M3"], row["E3M4"]) for row in rows]
+    assert sum(diffs) / len(diffs) > -0.02

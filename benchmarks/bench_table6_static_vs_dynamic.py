@@ -1,0 +1,37 @@
+"""Table 6 — static vs dynamic quantization accuracy on NLP workloads (E4M3 / E3M4)."""
+
+from repro.evaluation.reporting import format_table
+
+
+def table6_rows(report):
+    rows = []
+    for fmt in ("E4M3", "E3M4"):
+        static_cfg, dynamic_cfg = f"{fmt}-static", f"{fmt}-dynamic"
+        tasks = sorted({r.task for r in report.records if r.domain == "nlp"})
+        for task in tasks:
+            static = [r for r in report.records if r.task == task and r.config == static_cfg]
+            dynamic = [r for r in report.records if r.task == task and r.config == dynamic_cfg]
+            if not static or not dynamic:
+                continue
+            rows.append(
+                {
+                    "Model": task,
+                    "FP8 Format": fmt,
+                    "Static": static[0].quantized_metric,
+                    "Dynamic": dynamic[0].quantized_metric,
+                    "Improvement %": (dynamic[0].quantized_metric - static[0].quantized_metric)
+                    / max(static[0].quantized_metric, 1e-12)
+                    * 100,
+                }
+            )
+    return rows
+
+
+def test_table6_static_vs_dynamic(benchmark, sweep_report):
+    rows = benchmark.pedantic(lambda: table6_rows(sweep_report), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 6: static vs dynamic quantization on NLP models"))
+    assert rows
+    # dynamic quantization should not be dramatically worse than static on average
+    mean_improvement = sum(r["Improvement %"] for r in rows) / len(rows)
+    assert mean_improvement > -2.0

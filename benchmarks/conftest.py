@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive part of most benchmarks is the quantize-and-evaluate sweep over
+the model zoo; it is computed once per session here and shared by the Table 2 /
+Table 3 / Figure 4 / Figure 5 / Table 6 benchmarks.
+
+By default the sweep runs over a representative subset of the registry so the
+whole benchmark suite finishes in a few minutes on a laptop; set
+``REPRO_BENCH_FULL=1`` to sweep every registered task (the full scaled-down
+counterpart of the paper's 200+ task study).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.harness import paper_configurations, run_pass_rate_sweep
+from repro.models.registry import build_task, list_specs
+
+#: representative subset used when REPRO_BENCH_FULL is not set
+DEFAULT_BENCH_TASKS = [
+    # CV
+    "resnet18-imagenet",
+    "resnet50-imagenet",
+    "densenet121-imagenet",
+    "mobilenet-v2-imagenet",
+    "efficientnet-b0-imagenet",
+    "vit-small-imagenet",
+    "unet-carvana",
+    # NLP
+    "bert-base-mrpc",
+    "bert-base-cola",
+    "bert-large-rte",
+    "distilbert-mrpc",
+    "longformer-mrpc",
+    "funnel-mrpc",
+    "bloom-7b1-lambada",
+    "bloom-176b-lambada",
+    "llama-65b-lambada",
+    # other domains
+    "wav2vec2-librispeech",
+    "dlrm-criteo",
+]
+
+
+def bench_task_names():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return [spec.name for spec in list_specs(in_pass_rate_suite=True)]
+    return list(DEFAULT_BENCH_TASKS)
+
+
+@pytest.fixture(scope="session")
+def sweep_report():
+    """The Table 2 sweep (every benchmark task × the paper's six configurations)."""
+    return run_pass_rate_sweep(task_names=bench_task_names(), configurations=paper_configurations())
+
+
+@pytest.fixture(scope="session")
+def cnn_bundle():
+    return build_task("resnet18-imagenet")
+
+
+@pytest.fixture(scope="session")
+def densenet_bundle():
+    return build_task("densenet121-imagenet")
+
+
+@pytest.fixture(scope="session")
+def bert_bundle():
+    return build_task("bert-base-mrpc")
+
+
+@pytest.fixture(scope="session")
+def lm_bundle():
+    return build_task("bloom-7b1-lambada")
+
+
+@pytest.fixture(scope="session")
+def diffusion_bundle():
+    return build_task("stable-diffusion-proxy")

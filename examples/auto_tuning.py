@@ -1,0 +1,48 @@
+"""Accuracy-driven automatic tuning example (paper Section 3 / Appendix A.1).
+
+Shows the feedback loop of the paper's workflow: start from the standard
+scheme, and if the 1%-relative-loss target is not met, walk the extended-scheme
+search space (mixed formats, dynamic quantization, SmoothQuant, operator
+fallbacks) until it is.
+
+Run with:  python examples/auto_tuning.py
+"""
+
+from repro.models.registry import build_task
+from repro.quantization import AutoTuner
+from repro.quantization.tuning import default_search_space
+
+
+def tune(task_name: str, domain: str) -> None:
+    bundle = build_task(task_name)
+    tuner = AutoTuner(
+        evaluate_fn=lambda model: bundle.evaluate(model),
+        fp32_metric=bundle.fp32_metric,
+        relative_loss_target=0.01,
+    )
+    fallback_candidates = [
+        name for name, _ in bundle.model.named_modules() if name.endswith(("fc1", "classifier", "lm_head"))
+    ]
+    result = tuner.tune(
+        bundle.model,
+        default_search_space(domain),
+        fallback_candidates=fallback_candidates,
+        calibration_data=bundle.calib_data,
+        prepare_inputs=bundle.prepare_inputs,
+        is_convolutional=bundle.spec.is_convolutional,
+    )
+    print(f"=== {task_name} ({domain}) ===")
+    print(result.summary())
+    if result.succeeded:
+        print(f"-> met the 1% target with recipe {result.best.recipe.name}\n")
+    else:
+        print("-> target not met; best effort recipe reported above\n")
+
+
+def main() -> None:
+    tune("bert-base-mrpc", "nlp")
+    tune("efficientnet-b0-imagenet", "cv")
+
+
+if __name__ == "__main__":
+    main()

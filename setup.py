@@ -1,0 +1,5 @@
+"""Setuptools shim so `pip install -e . --no-use-pep517` works offline (no wheel package)."""
+
+from setuptools import setup
+
+setup()

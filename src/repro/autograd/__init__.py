@@ -1,0 +1,17 @@
+"""Tape-based reverse-mode automatic differentiation over numpy arrays.
+
+This is the substrate that stands in for PyTorch's tensor library: it is the
+minimum machinery needed to (a) *train* the synthetic model zoo from scratch so
+that weights and activations have realistic distributions, and (b) run
+inference through module graphs that the quantization framework rewrites.
+
+The design is deliberately simple and readable: a :class:`Tensor` wraps a
+``numpy.ndarray``, records the operations applied to it, and ``backward()``
+runs the tape in reverse topological order.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "gradcheck"]

@@ -1,0 +1,56 @@
+"""Numerical gradient checking used by the autograd test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["gradcheck"]
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> bool:
+    """Compare analytic gradients of ``fn(*inputs).sum()`` against central differences.
+
+    Inputs are perturbed in float64 to keep the numerical estimate stable while
+    the library itself computes in float32, hence the relatively loose default
+    tolerances.
+
+    Returns True when every gradient entry matches; raises ``AssertionError``
+    with a diagnostic message otherwise.
+    """
+    for inp in inputs:
+        inp.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    analytic = [inp.grad.copy() if inp.grad is not None else np.zeros_like(inp.data) for inp in inputs]
+
+    for t_idx, inp in enumerate(inputs):
+        if not inp.requires_grad:
+            continue
+        flat = inp.data.reshape(-1)
+        numeric = np.zeros_like(flat, dtype=np.float64)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = float(fn(*inputs).sum().data)
+            flat[i] = orig - eps
+            minus = float(fn(*inputs).sum().data)
+            flat[i] = orig
+            numeric[i] = (plus - minus) / (2 * eps)
+        numeric = numeric.reshape(inp.shape)
+        if not np.allclose(analytic[t_idx], numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic[t_idx] - numeric))
+            raise AssertionError(
+                f"gradcheck failed for input {t_idx}: max abs error {max_err:.4e}\n"
+                f"analytic={analytic[t_idx]}\nnumeric={numeric}"
+            )
+    return True

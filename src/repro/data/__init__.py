@@ -1,0 +1,38 @@
+"""Synthetic datasets and data loading.
+
+The paper evaluates on public datasets (ImageNet, GLUE, LibriSpeech, Criteo,
+COCO, ...).  None of those are available offline, so this package generates
+*synthetic* stand-ins with controllable difficulty: each task has a well-defined
+generative process so models trained on it reach a stable FP32 accuracy, which
+gives the quantization experiments a meaningful baseline to degrade from.
+"""
+
+from repro.data.synthetic import (
+    ArrayDataset,
+    DataLoader,
+    make_classification_images,
+    make_token_classification,
+    make_language_modeling,
+    make_tabular_ctr,
+    make_segmentation,
+    make_sequence_regression,
+)
+from repro.data.augmentation import (
+    TrainingTransform,
+    InferenceTransform,
+    get_transform,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "make_classification_images",
+    "make_token_classification",
+    "make_language_modeling",
+    "make_tabular_ctr",
+    "make_segmentation",
+    "make_sequence_regression",
+    "TrainingTransform",
+    "InferenceTransform",
+    "get_transform",
+]

@@ -1,0 +1,288 @@
+"""Synthetic dataset generators.
+
+Each generator returns ``(inputs, targets)`` numpy arrays plus enough metadata
+to build a model for the task.  The generative processes are chosen so that
+
+* a small model trained for a handful of epochs reaches a stable, reproducible
+  FP32 accuracy well above chance (so a 1% relative accuracy drop — the paper's
+  pass criterion — is measurable), and
+* the learned representations have the distribution properties the paper's
+  analysis relies on (approximately normal weights, long-tailed activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "make_classification_images",
+    "make_token_classification",
+    "make_language_modeling",
+    "make_tabular_ctr",
+    "make_segmentation",
+    "make_sequence_regression",
+]
+
+
+@dataclass
+class ArrayDataset:
+    """A pair of (inputs, targets) arrays with optional extra feature arrays."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    extras: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, idx):
+        if self.extras:
+            return (
+                self.inputs[idx],
+                self.targets[idx],
+                {k: v[idx] for k, v in self.extras.items()},
+            )
+        return self.inputs[idx], self.targets[idx]
+
+    def subset(self, n: int, rng: RngLike = None) -> "ArrayDataset":
+        """Random subset of ``n`` samples (used to build calibration sets)."""
+        rng = seeded_rng(rng)
+        n = min(n, len(self))
+        idx = rng.choice(len(self), size=n, replace=False)
+        extras = {k: v[idx] for k, v in self.extras.items()} if self.extras else None
+        return ArrayDataset(self.inputs[idx], self.targets[idx], extras)
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset` with optional shuffling."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: RngLike = None,
+        transform: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = seeded_rng(rng)
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            inputs = self.dataset.inputs[idx]
+            if self.transform is not None:
+                inputs = self.transform(inputs, self.rng)
+            yield inputs, self.dataset.targets[idx]
+
+
+# ----------------------------------------------------------------------
+# computer vision
+# ----------------------------------------------------------------------
+def _class_templates(
+    n_classes: int, channels: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Smooth random per-class image templates (low-frequency patterns)."""
+    base = rng.standard_normal((n_classes, channels, size, size)).astype(np.float32)
+    # low-pass filter by averaging neighbouring pixels a few times
+    for _ in range(3):
+        base = (
+            base
+            + np.roll(base, 1, axis=-1)
+            + np.roll(base, -1, axis=-1)
+            + np.roll(base, 1, axis=-2)
+            + np.roll(base, -1, axis=-2)
+        ) / 5.0
+    base /= base.std(axis=(1, 2, 3), keepdims=True) + 1e-6
+    return base
+
+
+def make_classification_images(
+    n_samples: int = 768,
+    image_size: int = 16,
+    channels: int = 3,
+    n_classes: int = 8,
+    noise: float = 0.9,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Image classification task: class template + Gaussian noise.
+
+    Stand-in for ImageNet/CIFAR-style image classification.  ``noise`` controls
+    difficulty (higher noise → lower, but still stable, FP32 accuracy).
+    """
+    rng = seeded_rng(rng)
+    templates = _class_templates(n_classes, channels, image_size, rng)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    images = templates[labels] + noise * rng.standard_normal(
+        (n_samples, channels, image_size, image_size)
+    ).astype(np.float32)
+    return ArrayDataset(images.astype(np.float32), labels.astype(np.int64))
+
+
+def make_segmentation(
+    n_samples: int = 512,
+    image_size: int = 16,
+    channels: int = 3,
+    noise: float = 0.6,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Binary segmentation task: bright elliptic blobs on a noisy background.
+
+    Stand-in for the Carvana masking challenge used with U-Net.
+    """
+    rng = seeded_rng(rng)
+    yy, xx = np.mgrid[0:image_size, 0:image_size]
+    images = np.zeros((n_samples, channels, image_size, image_size), dtype=np.float32)
+    masks = np.zeros((n_samples, image_size, image_size), dtype=np.int64)
+    for i in range(n_samples):
+        cx, cy = rng.uniform(4, image_size - 4, size=2)
+        rx, ry = rng.uniform(2, 5, size=2)
+        blob = (((xx - cx) / rx) ** 2 + ((yy - cy) / ry) ** 2) <= 1.0
+        masks[i] = blob
+        base = rng.standard_normal((channels, image_size, image_size)) * noise
+        base += blob[None] * 2.0
+        images[i] = base
+    return ArrayDataset(images.astype(np.float32), masks)
+
+
+# ----------------------------------------------------------------------
+# NLP
+# ----------------------------------------------------------------------
+def make_token_classification(
+    n_samples: int = 768,
+    seq_len: int = 24,
+    vocab_size: int = 64,
+    n_classes: int = 4,
+    signal_tokens_per_class: int = 4,
+    signal_density: float = 0.35,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Sequence classification: each class has a set of "signal" tokens.
+
+    Sequences are mostly background tokens drawn uniformly, with a fraction of
+    positions replaced by tokens from the label's signal set.  Stand-in for the
+    GLUE-style text classification tasks (MRPC, SST-2, CoLA, ...).
+    """
+    rng = seeded_rng(rng)
+    signal_sets = rng.choice(
+        vocab_size, size=(n_classes, signal_tokens_per_class), replace=False
+    )
+    labels = rng.integers(0, n_classes, size=n_samples)
+    tokens = rng.integers(0, vocab_size, size=(n_samples, seq_len))
+    signal_mask = rng.random((n_samples, seq_len)) < signal_density
+    signal_choice = rng.integers(0, signal_tokens_per_class, size=(n_samples, seq_len))
+    signal_tokens = signal_sets[labels[:, None], signal_choice]
+    tokens = np.where(signal_mask, signal_tokens, tokens)
+    return ArrayDataset(tokens.astype(np.int64), labels.astype(np.int64))
+
+
+def make_language_modeling(
+    n_samples: int = 512,
+    seq_len: int = 32,
+    vocab_size: int = 48,
+    order: int = 1,
+    temperature: float = 0.55,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Causal language modeling over a random (but fixed) Markov grammar.
+
+    A sparse first-order transition matrix defines the "language"; a decoder
+    model trained on samples from it achieves low perplexity, and quantization
+    damage shows up as degraded next-token accuracy and repetitive generations —
+    the failure mode the paper's Table 4 illustrates with Bloom.
+    Targets are the next-token ids (inputs shifted by one).
+    """
+    rng = seeded_rng(rng)
+    del order  # only first-order grammars are generated
+    logits = rng.standard_normal((vocab_size, vocab_size)) / temperature
+    # sparsify: each token can transition to a handful of successors
+    top_k = 6
+    thresh = np.sort(logits, axis=1)[:, -top_k][:, None]
+    logits = np.where(logits >= thresh, logits, -np.inf)
+    probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs /= probs.sum(axis=1, keepdims=True)
+
+    sequences = np.zeros((n_samples, seq_len + 1), dtype=np.int64)
+    sequences[:, 0] = rng.integers(0, vocab_size, size=n_samples)
+    for t in range(1, seq_len + 1):
+        prev = sequences[:, t - 1]
+        cdf = probs[prev].cumsum(axis=1)
+        u = rng.random((n_samples, 1))
+        sequences[:, t] = (u > cdf).sum(axis=1)
+    inputs = sequences[:, :-1]
+    targets = sequences[:, 1:]
+    return ArrayDataset(inputs, targets, extras={"transition_probs": np.broadcast_to(probs, (n_samples,) + probs.shape)})
+
+
+# ----------------------------------------------------------------------
+# recommendation / tabular
+# ----------------------------------------------------------------------
+def make_tabular_ctr(
+    n_samples: int = 1024,
+    n_dense: int = 8,
+    n_sparse: int = 6,
+    vocab_size: int = 50,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Click-through-rate prediction (DLRM stand-in for Criteo).
+
+    Dense features are Gaussian; sparse features are categorical ids whose
+    embedding-free ground-truth contribution is a fixed random per-id weight.
+    The label is Bernoulli(sigmoid(linear combination)).
+    """
+    rng = seeded_rng(rng)
+    dense = rng.standard_normal((n_samples, n_dense)).astype(np.float32)
+    sparse = rng.integers(0, vocab_size, size=(n_samples, n_sparse))
+    dense_w = rng.standard_normal(n_dense) * 0.8
+    sparse_w = rng.standard_normal((n_sparse, vocab_size)) * 0.8
+    logit = dense @ dense_w + sparse_w[np.arange(n_sparse)[None, :], sparse].sum(axis=1)
+    prob = 1.0 / (1.0 + np.exp(-logit))
+    labels = (rng.random(n_samples) < prob).astype(np.float32)
+    # dense and categorical-id features are packed into one float array so the
+    # generic DataLoader / calibration machinery can treat the task like any
+    # other; DLRMStyle splits them again internally.
+    inputs = np.concatenate([dense, sparse.astype(np.float32)], axis=1)
+    return ArrayDataset(inputs.astype(np.float32), labels)
+
+
+# ----------------------------------------------------------------------
+# audio / speech
+# ----------------------------------------------------------------------
+def make_sequence_regression(
+    n_samples: int = 512,
+    seq_len: int = 32,
+    n_features: int = 16,
+    n_classes: int = 6,
+    noise: float = 0.8,
+    rng: RngLike = None,
+) -> ArrayDataset:
+    """Frame-feature sequence classification (wav2vec/HuBERT stand-in).
+
+    Each class corresponds to a sinusoidal pattern across time in a random
+    subspace of the frame features, mimicking phoneme-like spectro-temporal
+    patterns; the model sees (batch, time, features) float inputs.
+    """
+    rng = seeded_rng(rng)
+    t = np.linspace(0, 2 * np.pi, seq_len)
+    class_freq = rng.uniform(1.0, 4.0, size=n_classes)
+    class_dirs = rng.standard_normal((n_classes, n_features)).astype(np.float32)
+    class_dirs /= np.linalg.norm(class_dirs, axis=1, keepdims=True)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    signal = np.sin(class_freq[labels][:, None] * t)[:, :, None] * class_dirs[labels][:, None, :]
+    data = signal + noise * rng.standard_normal((n_samples, seq_len, n_features))
+    return ArrayDataset(data.astype(np.float32), labels.astype(np.int64))

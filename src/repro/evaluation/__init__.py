@@ -1,0 +1,37 @@
+"""Experiment harness: quantize-and-evaluate sweeps, pass rates, FID and text-generation quality."""
+
+from repro.evaluation.harness import (
+    EvaluationRecord,
+    PassRateReport,
+    SweepConfig,
+    evaluate_recipe_on_task,
+    run_pass_rate_sweep,
+    paper_configurations,
+)
+from repro.evaluation.fid import FeatureStatistics, frechet_distance, fid_proxy
+from repro.evaluation.textgen import (
+    GenerationQuality,
+    repetition_rate,
+    distinct_n,
+    evaluate_generation_quality,
+)
+from repro.evaluation.reporting import format_table, format_pass_rate_table, format_records
+
+__all__ = [
+    "EvaluationRecord",
+    "PassRateReport",
+    "SweepConfig",
+    "evaluate_recipe_on_task",
+    "run_pass_rate_sweep",
+    "paper_configurations",
+    "FeatureStatistics",
+    "frechet_distance",
+    "fid_proxy",
+    "GenerationQuality",
+    "repetition_rate",
+    "distinct_n",
+    "evaluate_generation_quality",
+    "format_table",
+    "format_pass_rate_table",
+    "format_records",
+]

@@ -1,0 +1,299 @@
+"""Quantize-and-evaluate harness.
+
+This module turns the machinery of :mod:`repro.quantization` and the model zoo
+into the paper's headline experiments: for every (task, data format,
+quantization approach) pair it quantizes the trained FP32 model, evaluates it,
+and aggregates the results into the pass-rate / accuracy-loss statistics shown
+in Table 2, Table 3, Figure 4 and Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.registry import TaskBundle, build_task, list_specs
+from repro.quantization.metrics import (
+    DEFAULT_RELATIVE_LOSS_TARGET,
+    meets_accuracy_target,
+    relative_accuracy_loss,
+)
+from repro.quantization.qconfig import (
+    Approach,
+    QuantFormat,
+    QuantizationRecipe,
+    int8_recipe,
+    standard_recipe,
+)
+from repro.quantization.workflow import quantize_model
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "EvaluationRecord",
+    "PassRateReport",
+    "SweepConfig",
+    "evaluate_recipe_on_task",
+    "run_pass_rate_sweep",
+    "paper_configurations",
+]
+
+logger = get_logger("evaluation.harness")
+
+
+@dataclass
+class EvaluationRecord:
+    """Result of quantizing one task with one configuration."""
+
+    task: str
+    domain: str
+    size_class: str
+    config: str
+    fmt: str
+    approach: str
+    fp32_metric: float
+    quantized_metric: float
+    relative_loss: float
+    passed: bool
+    num_quantized_ops: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class PassRateReport:
+    """Aggregated pass rates per configuration, split by domain (paper Table 2)."""
+
+    records: List[EvaluationRecord] = field(default_factory=list)
+    relative_loss_target: float = DEFAULT_RELATIVE_LOSS_TARGET
+
+    def add(self, record: EvaluationRecord) -> None:
+        self.records.append(record)
+
+    def configurations(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.config not in seen:
+                seen.append(record.config)
+        return seen
+
+    def _subset(self, config: str, domain: Optional[str] = None) -> List[EvaluationRecord]:
+        subset = [r for r in self.records if r.config == config]
+        if domain == "cv":
+            subset = [r for r in subset if r.domain == "cv"]
+        elif domain == "nlp":
+            subset = [r for r in subset if r.domain == "nlp"]
+        return subset
+
+    def pass_rate(self, config: str, domain: Optional[str] = None) -> float:
+        subset = self._subset(config, domain)
+        if not subset:
+            return float("nan")
+        return float(np.mean([r.passed for r in subset]))
+
+    def accuracy_losses(self, config: str, domain: Optional[str] = None) -> np.ndarray:
+        return np.asarray([r.relative_loss for r in self._subset(config, domain)])
+
+    def loss_statistics(self, config: str, domain: Optional[str] = None) -> Dict[str, float]:
+        """Spread statistics behind the paper's Figure 4 box plot."""
+        losses = self.accuracy_losses(config, domain)
+        if losses.size == 0:
+            return {}
+        return {
+            "mean": float(losses.mean()),
+            "median": float(np.median(losses)),
+            "p25": float(np.percentile(losses, 25)),
+            "p75": float(np.percentile(losses, 75)),
+            "min": float(losses.min()),
+            "max": float(losses.max()),
+        }
+
+    def by_size_class(self, config: str) -> Dict[str, Dict[str, float]]:
+        """Per-size-class mean loss (paper Figure 5)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            if record.config != config:
+                continue
+            bucket = out.setdefault(record.size_class, {"losses": []})
+            bucket["losses"].append(record.relative_loss)
+        return {
+            size: {
+                "mean_loss": float(np.mean(vals["losses"])),
+                "max_loss": float(np.max(vals["losses"])),
+                "count": len(vals["losses"]),
+            }
+            for size, vals in out.items()
+        }
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Rows of the Table 2 reproduction."""
+        rows = []
+        for config in self.configurations():
+            sample = next(r for r in self.records if r.config == config)
+            rows.append(
+                {
+                    "Data Type": sample.fmt,
+                    "Quantization Approach": sample.approach,
+                    "Pass Rate (CV)": self.pass_rate(config, "cv"),
+                    "Pass Rate (NLP)": self.pass_rate(config, "nlp"),
+                    "Pass Rate (All)": self.pass_rate(config),
+                    "config": config,
+                }
+            )
+        return rows
+
+
+@dataclass
+class SweepConfig:
+    """One column of the Table 2 sweep: a display name plus per-domain recipes."""
+
+    name: str
+    fmt: str
+    approach: str
+    cv_recipe: QuantizationRecipe
+    nlp_recipe: QuantizationRecipe
+
+    def recipe_for(self, domain: str) -> QuantizationRecipe:
+        return self.cv_recipe if domain in ("cv", "generative") else self.nlp_recipe
+
+
+def paper_configurations(smoothquant_nlp: bool = True) -> List[SweepConfig]:
+    """The six configurations evaluated in the paper's Table 2.
+
+    E5M2 uses direct quantization; E4M3 and E3M4 are evaluated with both static
+    and dynamic activation quantization; the INT8 baseline uses static
+    quantization for CV models and dynamic quantization for NLP models.
+    SmoothQuant is enabled for NLP models (the paper's default), for every
+    data format.
+    """
+
+    def nlp(recipe: QuantizationRecipe) -> QuantizationRecipe:
+        recipe.smoothquant = smoothquant_nlp
+        return recipe
+
+    configs = [
+        SweepConfig(
+            name="E5M2-direct",
+            fmt="E5M2",
+            approach="Direct",
+            cv_recipe=standard_recipe(QuantFormat.E5M2, name="cv-E5M2"),
+            nlp_recipe=nlp(standard_recipe(QuantFormat.E5M2, name="nlp-E5M2")),
+        ),
+        SweepConfig(
+            name="E4M3-static",
+            fmt="E4M3",
+            approach="Static",
+            cv_recipe=standard_recipe(QuantFormat.E4M3, name="cv-E4M3-static"),
+            nlp_recipe=nlp(standard_recipe(QuantFormat.E4M3, name="nlp-E4M3-static")),
+        ),
+        SweepConfig(
+            name="E4M3-dynamic",
+            fmt="E4M3",
+            approach="Dynamic",
+            cv_recipe=standard_recipe(QuantFormat.E4M3, approach=Approach.DYNAMIC, name="cv-E4M3-dynamic"),
+            nlp_recipe=nlp(
+                standard_recipe(QuantFormat.E4M3, approach=Approach.DYNAMIC, name="nlp-E4M3-dynamic")
+            ),
+        ),
+        SweepConfig(
+            name="E3M4-static",
+            fmt="E3M4",
+            approach="Static",
+            cv_recipe=standard_recipe(QuantFormat.E3M4, name="cv-E3M4-static"),
+            nlp_recipe=nlp(standard_recipe(QuantFormat.E3M4, name="nlp-E3M4-static")),
+        ),
+        SweepConfig(
+            name="E3M4-dynamic",
+            fmt="E3M4",
+            approach="Dynamic",
+            cv_recipe=standard_recipe(QuantFormat.E3M4, approach=Approach.DYNAMIC, name="cv-E3M4-dynamic"),
+            nlp_recipe=nlp(
+                standard_recipe(QuantFormat.E3M4, approach=Approach.DYNAMIC, name="nlp-E3M4-dynamic")
+            ),
+        ),
+        SweepConfig(
+            name="INT8",
+            fmt="INT8",
+            approach="Static CV | Dynamic NLP",
+            cv_recipe=int8_recipe(name="cv-INT8-static"),
+            nlp_recipe=nlp(int8_recipe(approach=Approach.DYNAMIC, name="nlp-INT8-dynamic")),
+        ),
+    ]
+    return configs
+
+
+def evaluate_recipe_on_task(
+    bundle: TaskBundle,
+    recipe: QuantizationRecipe,
+    config_name: Optional[str] = None,
+    fmt: Optional[str] = None,
+    approach: Optional[str] = None,
+    relative_loss_target: float = DEFAULT_RELATIVE_LOSS_TARGET,
+) -> EvaluationRecord:
+    """Quantize one task with one recipe and compute its evaluation record."""
+    result = quantize_model(
+        bundle.model,
+        recipe,
+        calibration_data=bundle.calib_data,
+        prepare_inputs=bundle.prepare_inputs,
+        is_convolutional=bundle.spec.is_convolutional,
+    )
+    metric = bundle.evaluate(result.model)
+    rel_loss = relative_accuracy_loss(bundle.fp32_metric, metric)
+    record = EvaluationRecord(
+        task=bundle.spec.name,
+        domain=bundle.spec.domain,
+        size_class=bundle.size_class,
+        config=config_name or recipe.name,
+        fmt=fmt or recipe.activation_fmt.value,
+        approach=approach or recipe.approach.value,
+        fp32_metric=bundle.fp32_metric,
+        quantized_metric=metric,
+        relative_loss=rel_loss,
+        passed=meets_accuracy_target(bundle.fp32_metric, metric, relative_loss_target),
+        num_quantized_ops=result.num_quantized,
+    )
+    logger.info(
+        "%s | %s: fp32=%.4f quant=%.4f loss=%.2f%% %s",
+        record.task,
+        record.config,
+        record.fp32_metric,
+        record.quantized_metric,
+        record.relative_loss * 100,
+        "PASS" if record.passed else "FAIL",
+    )
+    return record
+
+
+def run_pass_rate_sweep(
+    task_names: Optional[Sequence[str]] = None,
+    configurations: Optional[Sequence[SweepConfig]] = None,
+    relative_loss_target: float = DEFAULT_RELATIVE_LOSS_TARGET,
+    domains: Sequence[str] = ("cv", "nlp", "audio", "recsys"),
+) -> PassRateReport:
+    """Run the full Table 2 sweep: every task in the suite × every configuration."""
+    if task_names is None:
+        task_names = [
+            spec.name
+            for spec in list_specs(in_pass_rate_suite=True)
+            if spec.domain in domains
+        ]
+    configurations = list(configurations or paper_configurations())
+
+    report = PassRateReport(relative_loss_target=relative_loss_target)
+    for task_name in task_names:
+        bundle = build_task(task_name)
+        for config in configurations:
+            recipe = config.recipe_for(bundle.spec.domain)
+            record = evaluate_recipe_on_task(
+                bundle,
+                recipe,
+                config_name=config.name,
+                fmt=config.fmt,
+                approach=config.approach,
+                relative_loss_target=relative_loss_target,
+            )
+            report.add(record)
+    return report

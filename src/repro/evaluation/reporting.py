@@ -1,0 +1,64 @@
+"""Plain-text table formatting for benchmark output (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_pass_rate_table", "format_records"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Format a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns or rows[0].keys())
+    table = [[_fmt_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in table:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pass_rate_table(report, title: str = "Workload Pass Rate") -> str:
+    """Render a :class:`~repro.evaluation.harness.PassRateReport` like the paper's Table 2."""
+    rows = []
+    for row in report.summary_rows():
+        rows.append(
+            {
+                "Data Type": row["Data Type"],
+                "Quantization Approach": row["Quantization Approach"],
+                "Pass Rate (CV)": f"{row['Pass Rate (CV)'] * 100:.2f}%",
+                "Pass Rate (NLP)": f"{row['Pass Rate (NLP)'] * 100:.2f}%",
+                "Pass Rate (All)": f"{row['Pass Rate (All)'] * 100:.2f}%",
+            }
+        )
+    return format_table(rows, title=title)
+
+
+def format_records(records, title: str = "") -> str:
+    """Render a list of :class:`~repro.evaluation.harness.EvaluationRecord` objects."""
+    rows = []
+    for record in records:
+        rows.append(
+            {
+                "task": record.task,
+                "config": record.config,
+                "fp32": record.fp32_metric,
+                "quantized": record.quantized_metric,
+                "rel loss %": record.relative_loss * 100,
+                "pass": "yes" if record.passed else "no",
+            }
+        )
+    return format_table(rows, title=title)

@@ -1,0 +1,63 @@
+"""FP8 and INT8 numeric format emulation.
+
+This package provides a bit-exact software emulation of the three 8-bit
+floating point formats studied in the paper (E5M2, E4M3, E3M4, Table 1),
+together with INT8 affine/symmetric quantization used as the baseline.
+
+The emulation mirrors the approach of the FP8 Emulation Toolkit used by the
+paper: values are stored and computed in FP32, but are rounded onto the
+representable grid of the target 8-bit format (with saturation and
+round-to-nearest-even) whenever a tensor is "quantized".
+"""
+
+from repro.fp8.formats import (
+    FP8Format,
+    E5M2,
+    E4M3,
+    E3M4,
+    E2M5,
+    FORMAT_REGISTRY,
+    get_format,
+)
+from repro.fp8.quantize import (
+    quantize_to_fp8,
+    fp8_round,
+    compute_scale,
+    quantize_dequantize,
+    QuantizedTensor,
+)
+from repro.fp8.int8 import (
+    Int8Spec,
+    INT8_SYMMETRIC,
+    INT8_ASYMMETRIC,
+    int8_quantize_dequantize,
+    int8_compute_qparams,
+)
+from repro.fp8.density import (
+    format_density,
+    density_at,
+    representable_count_in_range,
+)
+
+__all__ = [
+    "FP8Format",
+    "E5M2",
+    "E4M3",
+    "E3M4",
+    "E2M5",
+    "FORMAT_REGISTRY",
+    "get_format",
+    "quantize_to_fp8",
+    "fp8_round",
+    "compute_scale",
+    "quantize_dequantize",
+    "QuantizedTensor",
+    "Int8Spec",
+    "INT8_SYMMETRIC",
+    "INT8_ASYMMETRIC",
+    "int8_quantize_dequantize",
+    "int8_compute_qparams",
+    "format_density",
+    "density_at",
+    "representable_count_in_range",
+]

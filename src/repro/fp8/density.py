@@ -1,0 +1,73 @@
+"""Representable-value density analysis (paper Appendix A.1).
+
+The appendix derives the density of representable values of an ``E(e)M(m)``
+format around a magnitude ``N``:
+
+    D_{E(e)M(m)}(N) = 2 ** (m - floor(log2 N))          (Eq. 4)
+
+i.e. FP8 grids are denser near zero and geometrically sparser for larger
+magnitudes, in contrast to INT8's uniform grid.  These helpers are used by the
+Appendix A.1 benchmark and by the mixed-format heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.fp8.formats import FP8Format, get_format
+
+__all__ = ["density_at", "format_density", "representable_count_in_range", "int8_density"]
+
+FormatLike = Union[str, FP8Format]
+
+
+def _resolve(fmt: FormatLike) -> FP8Format:
+    return fmt if isinstance(fmt, FP8Format) else get_format(fmt)
+
+
+def density_at(fmt: FormatLike, value: Union[float, np.ndarray]) -> np.ndarray:
+    """Analytic density ``2**(m - floor(log2 |N|))`` of ``fmt`` at ``value``.
+
+    The density is the number of representable values per unit interval in the
+    binade containing ``value`` (paper Eq. 4).  Values of zero return the
+    density of the subnormal range.
+    """
+    fmt = _resolve(fmt)
+    value = np.abs(np.asarray(value, dtype=np.float64))
+    value = np.maximum(value, fmt.min_subnormal)
+    exponent = np.floor(np.log2(value))
+    return 2.0 ** (fmt.mantissa_bits - exponent)
+
+
+def format_density(fmt: FormatLike, grid: np.ndarray) -> np.ndarray:
+    """Empirical density: representable values per unit length around each grid point.
+
+    Computed from the actual value table (including subnormals), as the
+    reciprocal of the local spacing of the format grid.  Useful for checking
+    the analytic expression of :func:`density_at`.
+    """
+    fmt = _resolve(fmt)
+    grid = np.asarray(grid, dtype=np.float64)
+    values = fmt.positive_values
+    idx = np.clip(np.searchsorted(values, np.abs(grid)), 1, values.size - 1)
+    spacing = values[idx] - values[idx - 1]
+    spacing = np.maximum(spacing, np.finfo(np.float64).tiny)
+    return 1.0 / spacing
+
+
+def representable_count_in_range(fmt: FormatLike, lo: float, hi: float) -> int:
+    """Number of representable values of ``fmt`` inside ``[lo, hi]``."""
+    fmt = _resolve(fmt)
+    if hi < lo:
+        raise ValueError(f"invalid range [{lo}, {hi}]")
+    values = fmt.all_values
+    return int(np.count_nonzero((values >= lo) & (values <= hi)))
+
+
+def int8_density(absmax: float, num_levels: int = 255) -> float:
+    """Uniform INT8 grid density for a symmetric range ``[-absmax, absmax]``."""
+    if absmax <= 0:
+        raise ValueError("absmax must be positive")
+    return num_levels / (2.0 * absmax)

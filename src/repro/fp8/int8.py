@@ -1,0 +1,149 @@
+"""INT8 quantization baseline (symmetric and asymmetric/affine).
+
+The paper compares FP8 against the production INT8 recipe: symmetric
+per-channel weights, per-tensor activations (symmetric for CV, with dynamic
+quantization for NLP activations).  This module provides the reference INT8
+quantize/dequantize used by the INT8 baseline throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Int8Spec",
+    "INT8_SYMMETRIC",
+    "INT8_ASYMMETRIC",
+    "int8_compute_qparams",
+    "int8_quantize",
+    "int8_dequantize",
+    "int8_quantize_dequantize",
+]
+
+
+@dataclass(frozen=True)
+class Int8Spec:
+    """Integer quantization specification.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    symmetric:
+        Symmetric (zero_point = 0, range [-127, 127]) or asymmetric/affine
+        (zero_point chosen from the data range, range [-128, 127]).
+    """
+
+    name: str
+    symmetric: bool
+
+    @property
+    def qmin(self) -> int:
+        return -127 if self.symmetric else -128
+
+    @property
+    def qmax(self) -> int:
+        return 127
+
+    @property
+    def num_levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    def describe(self) -> dict:
+        return {
+            "format": self.name,
+            "bits": 8,
+            "symmetric": self.symmetric,
+            "qmin": self.qmin,
+            "qmax": self.qmax,
+            "levels": self.num_levels,
+        }
+
+
+INT8_SYMMETRIC = Int8Spec(name="INT8", symmetric=True)
+INT8_ASYMMETRIC = Int8Spec(name="INT8-asym", symmetric=False)
+
+
+def _reduce_axes(x: np.ndarray, axis: Optional[Union[int, Sequence[int]]]):
+    if axis is None:
+        return None
+    channel_axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    channel_axes = tuple(a % x.ndim for a in channel_axes)
+    return tuple(a for a in range(x.ndim) if a not in channel_axes)
+
+
+def int8_compute_qparams(
+    x: np.ndarray,
+    spec: Int8Spec = INT8_SYMMETRIC,
+    axis: Optional[Union[int, Sequence[int]]] = None,
+    min_val: Optional[np.ndarray] = None,
+    max_val: Optional[np.ndarray] = None,
+    eps: float = 1e-12,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute ``(scale, zero_point)`` from data (or calibrated min/max).
+
+    Scale maps real values to the integer grid: ``q = round(x / scale) + zp``.
+    For symmetric quantization ``scale = absmax / 127`` and ``zp = 0``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    reduce_axes = _reduce_axes(x, axis)
+    if min_val is None or max_val is None:
+        if reduce_axes is None:
+            min_val = np.min(x) if x.size else np.asarray(0.0)
+            max_val = np.max(x) if x.size else np.asarray(0.0)
+        else:
+            min_val = np.min(x, axis=reduce_axes, keepdims=True)
+            max_val = np.max(x, axis=reduce_axes, keepdims=True)
+    min_val = np.asarray(min_val, dtype=np.float64)
+    max_val = np.asarray(max_val, dtype=np.float64)
+
+    if spec.symmetric:
+        absmax = np.maximum(np.abs(min_val), np.abs(max_val))
+        scale = np.maximum(absmax, eps) / spec.qmax
+        zero_point = np.zeros_like(scale)
+    else:
+        # affine: include zero in the range so that exact zeros stay exact.
+        min_val = np.minimum(min_val, 0.0)
+        max_val = np.maximum(max_val, 0.0)
+        scale = np.maximum(max_val - min_val, eps) / (spec.qmax - spec.qmin)
+        zero_point = np.round(spec.qmin - min_val / scale)
+        zero_point = np.clip(zero_point, spec.qmin, spec.qmax)
+    return scale, zero_point
+
+
+def int8_quantize(
+    x: np.ndarray,
+    scale: np.ndarray,
+    zero_point: np.ndarray,
+    spec: Int8Spec = INT8_SYMMETRIC,
+) -> np.ndarray:
+    """Quantize to integer codes in ``[qmin, qmax]`` (round-half-to-even)."""
+    x = np.asarray(x, dtype=np.float64)
+    q = np.rint(x / scale) + zero_point
+    return np.clip(q, spec.qmin, spec.qmax)
+
+
+def int8_dequantize(
+    q: np.ndarray,
+    scale: np.ndarray,
+    zero_point: np.ndarray,
+) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return ((np.asarray(q, dtype=np.float64) - zero_point) * scale).astype(np.float32)
+
+
+def int8_quantize_dequantize(
+    x: np.ndarray,
+    spec: Int8Spec = INT8_SYMMETRIC,
+    axis: Optional[Union[int, Sequence[int]]] = None,
+    scale: Optional[np.ndarray] = None,
+    zero_point: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Round-trip INT8 emulation (the INT8 analogue of FP8 Q/DQ)."""
+    if scale is None or zero_point is None:
+        scale, zero_point = int8_compute_qparams(x, spec=spec, axis=axis)
+    q = int8_quantize(x, scale, zero_point, spec=spec)
+    return int8_dequantize(q, scale, zero_point)

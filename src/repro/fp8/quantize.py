@@ -1,0 +1,233 @@
+"""Vectorised FP8 rounding and scaled quantize/dequantize.
+
+The paper's quantization flow (Section 3.1) uses
+
+* **per-tensor scaling for activations**, ``s = float_max / max_T`` (Eq. 2)
+  where ``max_T`` is the calibrated absolute maximum of the tensor, and
+* **per-channel scaling for weights**, the same formula applied per output
+  channel.
+
+``E5M2`` is used with *direct* quantization (scale = 1) because its dynamic
+range is large enough to cover typical activations without calibration;
+``E4M3``/``E3M4`` use max scaling.
+
+All functions work on numpy arrays and emulate the FP8 cast by rounding the
+scaled FP32 values onto the format's representable grid with
+round-to-nearest-even and saturation to ``±max_value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.fp8.formats import FP8Format, get_format
+
+__all__ = [
+    "fp8_round",
+    "compute_scale",
+    "quantize_to_fp8",
+    "quantize_dequantize",
+    "QuantizedTensor",
+]
+
+FormatLike = Union[str, FP8Format]
+
+
+def _resolve(fmt: FormatLike) -> FP8Format:
+    if isinstance(fmt, FP8Format):
+        return fmt
+    return get_format(fmt)
+
+
+def fp8_round(x: np.ndarray, fmt: FormatLike) -> np.ndarray:
+    """Round ``x`` to the nearest representable value of ``fmt``.
+
+    Implements round-to-nearest, ties-to-even-mantissa, with saturation:
+    magnitudes above ``fmt.max_value`` are clamped to ``±max_value`` (this is
+    the behaviour the paper relies on, since the scale maps the calibrated
+    absmax exactly onto ``max_value``).  NaNs propagate; infinities saturate.
+
+    Parameters
+    ----------
+    x:
+        Input array (any shape, any float dtype).
+    fmt:
+        Target FP8 format or its name.
+
+    Returns
+    -------
+    np.ndarray
+        Array of the same shape with float32 values lying on the format grid.
+    """
+    fmt = _resolve(fmt)
+    x = np.asarray(x, dtype=np.float64)
+    out_shape = x.shape
+    flat = x.reshape(-1)
+
+    table = fmt.positive_values
+    lsb = fmt.mantissa_lsbs
+
+    sign = np.sign(flat)
+    sign = np.where(sign == 0, 1.0, sign)
+    mags = np.abs(flat)
+    finite = np.isfinite(mags)
+    mags_clipped = np.clip(np.where(finite, mags, 0.0), 0.0, fmt.max_value)
+
+    # nearest-value lookup: idx is the insertion point, candidates are idx-1/idx
+    idx = np.searchsorted(table, mags_clipped)
+    hi = np.clip(idx, 0, table.size - 1)
+    lo = np.clip(idx - 1, 0, table.size - 1)
+    d_hi = np.abs(table[hi] - mags_clipped)
+    d_lo = np.abs(mags_clipped - table[lo])
+
+    take_lo = d_lo < d_hi
+    take_hi = d_hi < d_lo
+    tie = ~take_lo & ~take_hi
+    # ties-to-even: prefer the candidate whose mantissa LSB is 0
+    tie_take_lo = tie & (lsb[lo] == 0)
+    choose_lo = take_lo | tie_take_lo
+    chosen = np.where(choose_lo, table[lo], table[hi])
+
+    result = sign * chosen
+    # saturate infinities, propagate NaN
+    result = np.where(np.isinf(flat), np.sign(flat) * fmt.max_value, result)
+    result = np.where(np.isnan(flat), np.nan, result)
+    return result.reshape(out_shape).astype(np.float32)
+
+
+def compute_scale(
+    x: np.ndarray,
+    fmt: FormatLike,
+    axis: Optional[Union[int, Sequence[int]]] = None,
+    absmax: Optional[np.ndarray] = None,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Compute the max-scaling factor ``s = float_max / max_T`` (paper Eq. 2).
+
+    Parameters
+    ----------
+    x:
+        Tensor used for calibration (ignored if ``absmax`` is given).
+    fmt:
+        Target FP8 format.
+    axis:
+        ``None`` for per-tensor scaling; otherwise the axes to *reduce over*
+        are every axis **except** the listed channel axis/axes (i.e. passing
+        ``axis=0`` gives one scale per index along dimension 0).
+    absmax:
+        Pre-computed calibrated absolute maximum (overrides ``x``).
+    eps:
+        Lower bound on the absmax to avoid division by zero.
+
+    Returns
+    -------
+    np.ndarray
+        Scale factor(s): scalar array for per-tensor, broadcastable array for
+        per-channel.
+    """
+    fmt = _resolve(fmt)
+    if absmax is None:
+        x = np.asarray(x, dtype=np.float64)
+        if axis is None:
+            absmax = np.max(np.abs(x)) if x.size else np.asarray(0.0)
+        else:
+            channel_axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            channel_axes = tuple(a % x.ndim for a in channel_axes)
+            reduce_axes = tuple(a for a in range(x.ndim) if a not in channel_axes)
+            absmax = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
+    absmax = np.asarray(absmax, dtype=np.float64)
+    absmax = np.maximum(absmax, eps)
+    scale = fmt.max_value / absmax
+    return scale
+
+
+def quantize_to_fp8(
+    x: np.ndarray,
+    fmt: FormatLike,
+    scale: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Quantize ``x`` into the FP8 grid (returns values still scaled by ``scale``).
+
+    ``q = fp8_round(x * scale)``.  Use :func:`quantize_dequantize` for the
+    round-trip used by emulated inference.
+    """
+    fmt = _resolve(fmt)
+    x = np.asarray(x, dtype=np.float64)
+    if scale is None:
+        scale = np.asarray(1.0)
+    return fp8_round(x * scale, fmt)
+
+
+def quantize_dequantize(
+    x: np.ndarray,
+    fmt: FormatLike,
+    scale: Optional[np.ndarray] = None,
+    axis: Optional[Union[int, Sequence[int]]] = None,
+) -> np.ndarray:
+    """Emulated FP8 cast: scale, round onto the grid, then rescale back.
+
+    This is the core Q/DQ primitive used by all quantized operators in
+    :mod:`repro.quantization`: compute stays in FP32 but the values have been
+    forced onto the 8-bit grid, exactly as in the paper's emulation framework.
+
+    Parameters
+    ----------
+    x:
+        Input tensor.
+    fmt:
+        Target format.
+    scale:
+        Pre-computed scale; if ``None`` it is computed from ``x`` with max
+        scaling (per-tensor if ``axis`` is None, per-channel otherwise).
+        E5M2 conventionally uses ``scale=1`` (direct cast) — pass it explicitly.
+    axis:
+        Channel axis for per-channel scaling when ``scale`` is None.
+    """
+    fmt = _resolve(fmt)
+    x = np.asarray(x, dtype=np.float64)
+    if scale is None:
+        scale = compute_scale(x, fmt, axis=axis)
+    scale = np.asarray(scale, dtype=np.float64)
+    q = fp8_round(x * scale, fmt)
+    return (q / scale).astype(np.float32)
+
+
+@dataclass
+class QuantizedTensor:
+    """A tensor stored on the FP8 grid together with its scale.
+
+    ``dequantize()`` returns ``values / scale``; ``values`` are FP32 numbers
+    that lie exactly on the target format's grid (scaled domain).
+    """
+
+    values: np.ndarray
+    scale: np.ndarray
+    fmt: FP8Format
+
+    @classmethod
+    def quantize(
+        cls,
+        x: np.ndarray,
+        fmt: FormatLike,
+        axis: Optional[Union[int, Sequence[int]]] = None,
+        scale: Optional[np.ndarray] = None,
+    ) -> "QuantizedTensor":
+        fmt = _resolve(fmt)
+        if scale is None:
+            scale = compute_scale(x, fmt, axis=axis)
+        scale = np.asarray(scale, dtype=np.float64)
+        values = fp8_round(np.asarray(x, dtype=np.float64) * scale, fmt)
+        return cls(values=values, scale=scale, fmt=fmt)
+
+    def dequantize(self) -> np.ndarray:
+        return (self.values / self.scale).astype(np.float32)
+
+    @property
+    def shape(self):
+        return self.values.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantizedTensor(shape={self.values.shape}, fmt={self.fmt.name})"

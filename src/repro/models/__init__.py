@@ -1,0 +1,65 @@
+"""Synthetic model zoo.
+
+Laptop-scale stand-ins for the paper's 75 evaluated architectures.  Each family
+mirrors the operator mix and distributional character of its namesake (BatchNorm
+CNNs, LayerNorm transformers, embedding-heavy recommenders, attention-based
+audio encoders, a convolutional denoiser for generation), and the registry in
+:mod:`repro.models.registry` attaches every architecture to a synthetic task,
+a size class, and the metadata the quantization recipes key off of.
+"""
+
+from repro.models.cnn import (
+    TinyVGG,
+    TinyResNet,
+    TinyDenseNet,
+    TinyMobileNet,
+    TinyShuffleNet,
+    TinyEfficientNet,
+    TinyInception,
+)
+from repro.models.transformer import (
+    TransformerEncoderLayer,
+    BertStyleClassifier,
+    GPTStyleLM,
+    ViTStyleClassifier,
+)
+from repro.models.mlp import DLRMStyle, SimpleMLP
+from repro.models.unet import TinyUNet
+from repro.models.audio import Wav2VecStyleClassifier
+from repro.models.generative import TinyDenoiser
+from repro.models.outliers import inject_nlp_outliers, find_outlier_channels
+from repro.models.registry import (
+    ModelSpec,
+    TaskBundle,
+    REGISTRY,
+    get_spec,
+    list_specs,
+    build_task,
+)
+
+__all__ = [
+    "TinyVGG",
+    "TinyResNet",
+    "TinyDenseNet",
+    "TinyMobileNet",
+    "TinyShuffleNet",
+    "TinyEfficientNet",
+    "TinyInception",
+    "TransformerEncoderLayer",
+    "BertStyleClassifier",
+    "GPTStyleLM",
+    "ViTStyleClassifier",
+    "DLRMStyle",
+    "SimpleMLP",
+    "TinyUNet",
+    "Wav2VecStyleClassifier",
+    "TinyDenoiser",
+    "inject_nlp_outliers",
+    "find_outlier_channels",
+    "ModelSpec",
+    "TaskBundle",
+    "REGISTRY",
+    "get_spec",
+    "list_specs",
+    "build_task",
+]

@@ -1,0 +1,49 @@
+"""Audio / speech model (wav2vec 2.0 / HuBERT stand-in).
+
+A lightweight frame-feature encoder followed by transformer layers and a
+sequence-level classifier; inputs are (batch, time, features) float arrays
+produced by :func:`repro.data.synthetic.make_sequence_regression`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.autograd.tensor import Tensor
+from repro.models.transformer import TransformerEncoderLayer
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["Wav2VecStyleClassifier"]
+
+
+class Wav2VecStyleClassifier(nn.Module):
+    """Frame projection + transformer encoder + mean-pool classification head."""
+
+    def __init__(
+        self,
+        n_features: int = 16,
+        num_classes: int = 6,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.feature_proj = nn.Linear(n_features, embed_dim, rng=rng)
+        self.feature_ln = nn.LayerNorm(embed_dim)
+        self.layers = nn.ModuleList(
+            [TransformerEncoderLayer(embed_dim, num_heads, rng=rng) for _ in range(num_layers)]
+        )
+        self.final_ln = nn.LayerNorm(embed_dim)
+        self.classifier = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float32))
+        h = self.feature_ln(self.feature_proj(x))
+        for layer in self.layers:
+            h = layer(h)
+        pooled = self.final_ln(h).mean(axis=1)
+        return self.classifier(pooled)

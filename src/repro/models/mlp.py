@@ -1,0 +1,114 @@
+"""MLP-style models: a DLRM-like recommender and a plain MLP classifier."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+import repro.nn as nn
+from repro.autograd.tensor import Tensor
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["DLRMStyle", "SimpleMLP"]
+
+
+class DLRMStyle(nn.Module):
+    """Deep Learning Recommendation Model stand-in (Criteo CTR prediction).
+
+    Dense features go through a bottom MLP; each sparse (categorical) feature
+    goes through an EmbeddingBag; pairwise dot-product interactions between the
+    dense representation and the embeddings are concatenated and fed to a top
+    MLP that produces a single click logit.
+    """
+
+    def __init__(
+        self,
+        n_dense: int = 8,
+        n_sparse: int = 6,
+        vocab_size: int = 50,
+        embed_dim: int = 8,
+        bottom_hidden: Sequence[int] = (32, 8),
+        top_hidden: Sequence[int] = (32, 16),
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        if bottom_hidden[-1] != embed_dim:
+            raise ValueError("bottom_hidden must end at embed_dim for the interaction layer")
+        self.n_dense = n_dense
+        self.n_sparse = n_sparse
+        self.embed_dim = embed_dim
+
+        bottom = []
+        cin = n_dense
+        for width in bottom_hidden:
+            bottom += [nn.Linear(cin, width, rng=rng), nn.ReLU()]
+            cin = width
+        self.bottom_mlp = nn.Sequential(*bottom[:-1])  # last layer without ReLU
+        self.embeddings = nn.ModuleList(
+            [nn.EmbeddingBag(vocab_size, embed_dim, mode="mean", rng=rng) for _ in range(n_sparse)]
+        )
+
+        n_features = n_sparse + 1
+        n_interactions = n_features * (n_features - 1) // 2
+        top = []
+        cin = embed_dim + n_interactions
+        for width in top_hidden:
+            top += [nn.Linear(cin, width, rng=rng), nn.ReLU()]
+            cin = width
+        top.append(nn.Linear(cin, 1, rng=rng))
+        self.top_mlp = nn.Sequential(*top)
+
+    def forward(self, inputs) -> Tensor:
+        """Accept either a packed (N, n_dense + n_sparse) array or a (dense, sparse) tuple."""
+        if isinstance(inputs, (tuple, list)):
+            dense, sparse = inputs
+        else:
+            packed = inputs.data if isinstance(inputs, Tensor) else np.asarray(inputs)
+            dense, sparse = packed[:, : self.n_dense], packed[:, self.n_dense :]
+        dense_t = dense if isinstance(dense, Tensor) else Tensor(dense)
+        sparse = np.asarray(sparse if not isinstance(sparse, Tensor) else sparse.data, dtype=np.int64)
+        bottom = self.bottom_mlp(dense_t)  # (N, embed_dim)
+        features = [bottom]
+        for i, emb in enumerate(self.embeddings):
+            features.append(emb(sparse[:, i : i + 1]))
+        stacked = Tensor.concatenate([f.reshape(f.shape[0], 1, self.embed_dim) for f in features], axis=1)
+        # pairwise dot-product interactions
+        inter = stacked.matmul(stacked.transpose(0, 2, 1))  # (N, F, F)
+        n_features = len(features)
+        iu, ju = np.triu_indices(n_features, k=1)
+        inter_flat = inter.reshape(inter.shape[0], n_features * n_features)[
+            :, (iu * n_features + ju)
+        ]
+        top_in = Tensor.concatenate([bottom, inter_flat], axis=1)
+        return self.top_mlp(top_in).reshape(-1)
+
+
+class SimpleMLP(nn.Module):
+    """Plain MLP classifier over flattened inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (64, 32),
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        layers = []
+        cin = in_features
+        for width in hidden:
+            layers += [nn.Linear(cin, width, rng=rng), nn.ReLU()]
+            cin = width
+        layers.append(nn.Linear(cin, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+        self.flatten = nn.Flatten()
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 2:
+            x = self.flatten(x)
+        return self.net(x)

@@ -1,0 +1,97 @@
+"""Activation-outlier injection for NLP models.
+
+Large language models exhibit a small number of hidden channels whose
+activation magnitudes are 10-100x larger than the rest; the paper (and the
+outlier-suppression / SmoothQuant literature it cites) attributes this to
+LayerNorm amplification and shows it is the main reason INT8 per-tensor
+activation quantization fails on NLP workloads.
+
+Pretrained LLMs are not available offline, so we *graft* the phenomenon onto
+our trained transformer stand-ins with a mathematically neutral rescaling:
+
+* pick ``k`` channels of a pre-FFN LayerNorm (``ln2``),
+* multiply that LayerNorm's affine weight and bias by ``alpha`` on those
+  channels (its output now has outlier channels),
+* divide the consuming Linear's (``fc1``) input columns by ``alpha``.
+
+In exact arithmetic the model function is unchanged, so the FP32 baseline is
+untouched — but any per-tensor activation quantizer now has to cover a range
+``alpha`` times wider, which is precisely the stress the paper studies.
+SmoothQuant (:mod:`repro.quantization.smoothquant`) performs the inverse
+transformation, which is why it recovers INT8 accuracy on these models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.norm import LayerNorm
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["inject_nlp_outliers", "find_outlier_channels"]
+
+
+def inject_nlp_outliers(
+    model: Module,
+    alpha: float = 24.0,
+    num_channels: int = 2,
+    layer_filter: str = "ln2",
+    rng: RngLike = None,
+) -> Dict[str, List[int]]:
+    """Inject neutral activation outliers into every (LayerNorm -> Linear) pair.
+
+    Parameters
+    ----------
+    model:
+        A transformer-style model containing ``TransformerEncoderLayer`` blocks
+        (attribute names ``ln2`` / ``fc1`` are used to find the pairs).
+    alpha:
+        Outlier amplification factor (papers report 20-100x for real LLMs).
+    num_channels:
+        How many channels per layer become outliers.
+    layer_filter:
+        Substring a LayerNorm's attribute name must contain to be selected.
+    rng:
+        Randomness for channel selection.
+
+    Returns
+    -------
+    dict
+        Mapping of module path -> list of outlier channel indices, useful for
+        assertions in tests and for the distribution analysis benchmark.
+    """
+    rng = seeded_rng(rng)
+    injected: Dict[str, List[int]] = {}
+    for name, module in model.named_modules():
+        if not name.endswith(layer_filter) or not isinstance(module, LayerNorm):
+            continue
+        parent_path = name.rsplit(".", 1)[0] if "." in name else ""
+        parent = model.get_submodule(parent_path)
+        linear: Optional[Linear] = getattr(parent, "fc1", None)
+        if not isinstance(linear, Linear):
+            continue
+        dim = module.weight.shape[0]
+        channels = rng.choice(dim, size=min(num_channels, dim), replace=False)
+        for channel in channels:
+            module.weight.data[channel] *= alpha
+            module.bias.data[channel] *= alpha
+            linear.weight.data[:, channel] /= alpha
+        injected[name] = [int(c) for c in channels]
+    return injected
+
+
+def find_outlier_channels(
+    activations: np.ndarray, threshold_sigma: float = 6.0
+) -> np.ndarray:
+    """Return channel indices whose max |activation| exceeds ``threshold_sigma`` * median channel max.
+
+    ``activations`` is any array whose last axis is the channel/hidden axis.
+    """
+    flat = np.abs(np.asarray(activations)).reshape(-1, activations.shape[-1])
+    channel_max = flat.max(axis=0)
+    reference = np.median(channel_max) + 1e-12
+    return np.nonzero(channel_max > threshold_sigma * reference)[0]

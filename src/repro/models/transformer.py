@@ -1,0 +1,240 @@
+"""Transformer model family (BERT / GPT / Longformer / Funnel / ViT stand-ins).
+
+The encoder layer uses pre-LayerNorm so that each LayerNorm output feeds a
+Linear projection directly — the exact topology in which LLM activation
+outliers appear (and in which SmoothQuant and the paper's mixed-FP8-format
+recipe operate).  All batched matrix multiplications inside attention are
+explicit :class:`~repro.nn.attention.BatchMatMul` modules so the extended
+quantization scheme can cover them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+import repro.nn as nn
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = [
+    "TransformerEncoderLayer",
+    "BertStyleClassifier",
+    "GPTStyleLM",
+    "ViTStyleClassifier",
+]
+
+
+class TransformerEncoderLayer(nn.Module):
+    """Pre-LN transformer block: LN -> MHSA -> Add, LN -> FFN -> Add."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        local_window: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        ffn_dim = ffn_dim or 4 * embed_dim
+        self.ln1 = nn.LayerNorm(embed_dim)
+        self.attention = nn.MultiHeadSelfAttention(
+            embed_dim, num_heads, dropout=dropout, local_window=local_window, rng=rng
+        )
+        self.attn_add = nn.Add()
+        self.ln2 = nn.LayerNorm(embed_dim)
+        self.fc1 = nn.Linear(embed_dim, ffn_dim, rng=rng)
+        self.act = nn.GELU()
+        self.fc2 = nn.Linear(ffn_dim, embed_dim, rng=rng)
+        self.ffn_add = nn.Add()
+
+    def forward(self, x: Tensor, causal: bool = False) -> Tensor:
+        x = self.attn_add(x, self.attention(self.ln1(x), causal=causal))
+        x = self.ffn_add(x, self.fc2(self.act(self.fc1(self.ln2(x)))))
+        return x
+
+
+class BertStyleClassifier(nn.Module):
+    """Encoder-only sequence classifier (BERT/DistilBERT/Longformer/Funnel stand-in).
+
+    Parameters
+    ----------
+    funnel_pool:
+        If True, the sequence length is halved (mean-pooled) between encoder
+        layers, mimicking the Funnel transformer.
+    local_window:
+        If given, attention is restricted to a local window (Longformer-style).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        max_seq_len: int = 64,
+        num_classes: int = 4,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        ffn_dim: Optional[int] = None,
+        local_window: Optional[int] = None,
+        funnel_pool: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.embed_dim = embed_dim
+        self.funnel_pool = funnel_pool
+        self.token_embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.position_embedding = nn.Embedding(max_seq_len, embed_dim, rng=rng)
+        self.embed_add = nn.Add()
+        self.layers = nn.ModuleList(
+            [
+                TransformerEncoderLayer(
+                    embed_dim, num_heads, ffn_dim=ffn_dim, local_window=local_window, rng=rng
+                )
+                for _ in range(num_layers)
+            ]
+        )
+        self.final_ln = nn.LayerNorm(embed_dim)
+        self.classifier = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def encode(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        _, seq_len = tokens.shape
+        positions = np.broadcast_to(np.arange(seq_len), tokens.shape)
+        x = self.embed_add(self.token_embedding(tokens), self.position_embedding(positions))
+        for layer in self.layers:
+            x = layer(x)
+            if self.funnel_pool and x.shape[1] > 2:
+                b, t, d = x.shape
+                x = x.reshape(b, t // 2, 2, d).mean(axis=2)
+        return self.final_ln(x)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        hidden = self.encode(tokens)
+        pooled = hidden.mean(axis=1)
+        return self.classifier(pooled)
+
+
+class GPTStyleLM(nn.Module):
+    """Decoder-only causal language model (Bloom/LLaMA/DialoGPT stand-in)."""
+
+    def __init__(
+        self,
+        vocab_size: int = 48,
+        max_seq_len: int = 64,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        ffn_dim: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.vocab_size = vocab_size
+        self.max_seq_len = max_seq_len
+        self.token_embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.position_embedding = nn.Embedding(max_seq_len, embed_dim, rng=rng)
+        self.embed_add = nn.Add()
+        self.layers = nn.ModuleList(
+            [
+                TransformerEncoderLayer(embed_dim, num_heads, ffn_dim=ffn_dim, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.final_ln = nn.LayerNorm(embed_dim)
+        self.lm_head = nn.Linear(embed_dim, vocab_size, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        _, seq_len = tokens.shape
+        positions = np.broadcast_to(np.arange(seq_len), tokens.shape)
+        x = self.embed_add(self.token_embedding(tokens), self.position_embedding(positions))
+        for layer in self.layers:
+            x = layer(x, causal=True)
+        return self.lm_head(self.final_ln(x))
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int = 32,
+        beam_size: int = 1,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Greedy (beam_size=1) or beam-search continuation of a single prompt.
+
+        ``prompt`` is a 1D array of token ids; returns the full sequence
+        including the prompt.  Used by the Table 4 text-generation benchmark.
+        """
+        from repro.autograd.tensor import no_grad
+
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        with no_grad():
+            if beam_size <= 1:
+                seq = prompt.copy()
+                for _ in range(max_new_tokens):
+                    window = seq[-self.max_seq_len :]
+                    logits = self.forward(window[None, :]).data[0, -1]
+                    seq = np.append(seq, int(np.argmax(logits)))
+                return seq
+            # beam search
+            beams = [(prompt.copy(), 0.0)]
+            for _ in range(max_new_tokens):
+                candidates = []
+                for seq, score in beams:
+                    window = seq[-self.max_seq_len :]
+                    logits = self.forward(window[None, :]).data[0, -1]
+                    logp = logits - np.log(np.sum(np.exp(logits - logits.max()))) - logits.max()
+                    top = np.argsort(logp)[-beam_size:]
+                    for token in top:
+                        candidates.append((np.append(seq, int(token)), score + float(logp[token])))
+                candidates.sort(key=lambda item: item[1], reverse=True)
+                beams = candidates[:beam_size]
+            return beams[0][0]
+
+
+class ViTStyleClassifier(nn.Module):
+    """Vision transformer: patch embedding + encoder layers + mean-pool classifier."""
+
+    def __init__(
+        self,
+        num_classes: int = 8,
+        image_size: int = 16,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        if image_size % patch_size:
+            raise ValueError("image_size must be divisible by patch_size")
+        self.patch_size = patch_size
+        num_patches = (image_size // patch_size) ** 2
+        self.patch_embed = nn.Conv2d(in_channels, embed_dim, patch_size, stride=patch_size, rng=rng)
+        self.position_embedding = nn.Embedding(num_patches, embed_dim, rng=rng)
+        self.embed_add = nn.Add()
+        self.layers = nn.ModuleList(
+            [TransformerEncoderLayer(embed_dim, num_heads, rng=rng) for _ in range(num_layers)]
+        )
+        self.final_ln = nn.LayerNorm(embed_dim)
+        self.classifier = nn.Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        patches = self.patch_embed(x)
+        n, d, h, w = patches.shape
+        seq = patches.reshape(n, d, h * w).transpose(0, 2, 1)
+        positions = np.broadcast_to(np.arange(h * w), (n, h * w))
+        seq = self.embed_add(seq, self.position_embedding(positions))
+        for layer in self.layers:
+            seq = layer(seq)
+        pooled = self.final_ln(seq).mean(axis=1)
+        return self.classifier(pooled)

@@ -1,0 +1,69 @@
+"""Tiny U-Net for binary image segmentation (Carvana / U-Net stand-in)."""
+
+from __future__ import annotations
+
+import repro.nn as nn
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["TinyUNet"]
+
+
+class DoubleConv(nn.Module):
+    """Two conv-BN-ReLU layers, the basic U-Net building block."""
+
+    def __init__(self, cin: int, cout: int, rng: RngLike = None) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        self.block = nn.Sequential(
+            nn.Conv2d(cin, cout, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(cout),
+            nn.ReLU(),
+            nn.Conv2d(cout, cout, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(cout),
+            nn.ReLU(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block(x)
+
+
+class TinyUNet(nn.Module):
+    """A two-level encoder/decoder U-Net with skip connections.
+
+    Output is per-pixel class logits of shape (N, num_classes, H, W).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 2,
+        base_width: int = 12,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = seeded_rng(rng)
+        w = base_width
+        self.enc1 = DoubleConv(in_channels, w, rng=rng)
+        self.down1 = nn.MaxPool2d(2)
+        self.enc2 = DoubleConv(w, w * 2, rng=rng)
+        self.down2 = nn.MaxPool2d(2)
+        self.bottleneck = DoubleConv(w * 2, w * 4, rng=rng)
+        self.up2_conv = nn.Conv2d(w * 4, w * 2, 1, rng=rng)
+        self.dec2 = DoubleConv(w * 4, w * 2, rng=rng)
+        self.up1_conv = nn.Conv2d(w * 2, w, 1, rng=rng)
+        self.dec1 = DoubleConv(w * 2, w, rng=rng)
+        self.head = nn.Conv2d(w, num_classes, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        e1 = self.enc1(x)
+        e2 = self.enc2(self.down1(e1))
+        b = self.bottleneck(self.down2(e2))
+        u2 = self.up2_conv(F.upsample_nearest2d(b, 2))
+        d2 = self.dec2(Tensor.concatenate([u2, e2], axis=1))
+        u1 = self.up1_conv(F.upsample_nearest2d(d2, 2))
+        d1 = self.dec1(Tensor.concatenate([u1, e1], axis=1))
+        return self.head(d1)

@@ -1,0 +1,49 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "GELU", "SiLU", "Sigmoid", "Tanh", "Softmax"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class SiLU(Module):
+    """Sigmoid linear unit (a.k.a. swish), used by EfficientNet-style models."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.silu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)

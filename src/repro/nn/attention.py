@@ -1,0 +1,106 @@
+"""Transformer attention building blocks.
+
+``MultiHeadSelfAttention`` exposes the two batched matrix multiplications
+(QK^T and probs·V) as explicit :class:`BatchMatMul` submodules so that the
+*extended* quantization scheme can target them (the paper's "BMM, MM" operator
+coverage in Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["BatchMatMul", "MultiHeadSelfAttention"]
+
+
+class BatchMatMul(Module):
+    """Batched matrix multiplication as a module (quantizable operator)."""
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return F.matmul(a, b)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self attention with optional local (Longformer-style) masking.
+
+    Parameters
+    ----------
+    embed_dim:
+        Model width.
+    num_heads:
+        Number of attention heads (must divide ``embed_dim``).
+    local_window:
+        If given, attention is restricted to a sliding window of this radius
+        around each position — the cheap stand-in for Longformer-style sparse
+        attention in the model zoo.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        local_window: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        rng = seeded_rng(rng)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.local_window = local_window
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.attn_matmul = BatchMatMul()
+        self.value_matmul = BatchMatMul()
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def _mask(self, seq_len: int, causal: bool) -> Optional[np.ndarray]:
+        mask = np.zeros((seq_len, seq_len), dtype=np.float32)
+        if causal:
+            mask += np.triu(np.full((seq_len, seq_len), -1e9, dtype=np.float32), k=1)
+        if self.local_window is not None:
+            idx = np.arange(seq_len)
+            outside = np.abs(idx[:, None] - idx[None, :]) > self.local_window
+            mask += np.where(outside, -1e9, 0.0).astype(np.float32)
+        if not causal and self.local_window is None:
+            return None
+        return mask
+
+    def forward(self, x: Tensor, causal: bool = False) -> Tensor:
+        b, t, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        scores = self.attn_matmul(q, k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        mask = self._mask(t, causal)
+        if mask is not None:
+            scores = scores + Tensor(mask.reshape(1, 1, t, t))
+        probs = F.softmax(scores, axis=-1)
+        probs = self.dropout(probs)
+        context = self.value_matmul(probs, v)
+        return self.out_proj(self._merge_heads(context))
+
+    def extra_repr(self) -> str:
+        return f"embed_dim={self.embed_dim}, num_heads={self.num_heads}, local_window={self.local_window}"

@@ -1,0 +1,61 @@
+"""Container modules: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules):
+            self.add_module(str(idx), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """A list of modules that is registered for traversal but has no forward."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules):
+            self.add_module(str(idx), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - defensive
+        raise RuntimeError("ModuleList is not callable; iterate over its children instead")

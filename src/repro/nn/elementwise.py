@@ -1,0 +1,27 @@
+"""Element-wise Add / Mul as modules.
+
+The paper's extended scheme quantizes memory-bound element-wise operators
+(residual additions, gating multiplications).  Modelling them as modules lets
+the converter wrap them with input quantizers like any other operator.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Add", "Mul"]
+
+
+class Add(Module):
+    """Element-wise addition, typically a residual connection."""
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return a + b
+
+
+class Mul(Module):
+    """Element-wise multiplication, typically a gating operation."""
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return a * b

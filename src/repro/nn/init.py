@@ -1,0 +1,64 @@
+"""Weight initialisation helpers (Kaiming / Xavier / normal / uniform)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "normal_", "zeros", "ones"]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = int(np.prod(shape[1:]))
+        fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU networks."""
+    rng = seeded_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming normal initialisation."""
+    rng = seeded_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: RngLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (used for attention / embeddings)."""
+    rng = seeded_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal_(shape: Tuple[int, ...], std: float = 0.02, rng: RngLike = None) -> np.ndarray:
+    """Truncated-free normal initialisation with the given std (transformer default)."""
+    rng = seeded_rng(rng)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

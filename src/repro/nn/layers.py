@@ -1,0 +1,155 @@
+"""Core compute and memory layers: Linear, Conv2d, Embedding(JBag), Dropout, Flatten.
+
+These are the operators the paper's *standard* quantization scheme targets
+(Convolution, Linear, Embedding).  Each module exposes ``weight`` (and
+optionally ``bias``) in the layout the quantizer expects: output channels on
+axis 0, so per-channel weight scaling reduces over every remaining axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.seeding import RngLike, seeded_rng
+
+__all__ = ["Linear", "Conv2d", "Embedding", "EmbeddingBag", "Dropout", "Flatten", "Identity"]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b`` with weight shape (out_features, in_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = seeded_rng(rng)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng, gain=1.0))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}"
+
+
+class Conv2d(Module):
+    """2D convolution over NCHW inputs with weight shape (out, in/groups, kh, kw)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int]] = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        rng = seeded_rng(rng)
+        weight_shape = (out_channels, in_channels // groups, *kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng=rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding, groups=self.groups
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}"
+        )
+
+
+class Embedding(Module):
+    """Token embedding table of shape (num_embeddings, embedding_dim)."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = seeded_rng(rng)
+        self.weight = Parameter(init.normal_((num_embeddings, embedding_dim), std=0.02, rng=rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+    def extra_repr(self) -> str:
+        return f"num_embeddings={self.num_embeddings}, embedding_dim={self.embedding_dim}"
+
+
+class EmbeddingBag(Module):
+    """Embedding lookup followed by a mean/sum reduction over each bag (DLRM-style)."""
+
+    def __init__(
+        self, num_embeddings: int, embedding_dim: int, mode: str = "mean", rng: RngLike = None
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.mode = mode
+        rng = seeded_rng(rng)
+        self.weight = Parameter(init.normal_((num_embeddings, embedding_dim), std=0.02, rng=rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding_bag(self.weight, indices, mode=self.mode)
+
+    def extra_repr(self) -> str:
+        return f"num_embeddings={self.num_embeddings}, embedding_dim={self.embedding_dim}, mode={self.mode}"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: RngLike = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = seeded_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after ``start_dim``."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class Identity(Module):
+    """No-op module, used as a placeholder when operators are removed/fallen back."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

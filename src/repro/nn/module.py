@@ -1,0 +1,250 @@
+"""Module base class and Parameter container.
+
+The quantization framework relies on four capabilities of :class:`Module`:
+
+* ``named_modules()`` — walk the module graph to decide which operators to
+  quantize (standard vs extended scheme, first/last operator detection);
+* ``get_submodule`` / ``set_submodule`` — swap a float module for its
+  quantized counterpart in place;
+* ``state_dict`` / ``load_state_dict`` — snapshot and restore trained weights
+  (used by the tuning loop to try recipes from the same starting point);
+* ``train()`` / ``eval()`` — BatchNorm calibration runs the model in a special
+  statistics-update mode without touching learnable parameters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as a learnable parameter of a Module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class HookHandle:
+    """Removable handle returned by :meth:`Module.register_forward_hook`."""
+
+    _counter = 0
+
+    def __init__(self, registry) -> None:
+        HookHandle._counter += 1
+        self.hook_id = HookHandle._counter
+        self._registry = registry
+
+    def remove(self) -> None:
+        self._registry.pop(self.hook_id, None)
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._forward_hooks: "OrderedDict[int, object]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        return iter(self._modules.items())
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for mod_name, child in self._modules.items():
+            child_prefix = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for mod_name, child in self._modules.items():
+            child_prefix = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from child.named_buffers(child_prefix)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (used for model-size classes)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def size_mb(self, bytes_per_param: int = 4) -> float:
+        """Model size in megabytes assuming FP32 storage (paper Figure 5 size classes)."""
+        return self.num_parameters() * bytes_per_param / (1024.0**2)
+
+    # ------------------------------------------------------------------
+    # submodule access / replacement
+    # ------------------------------------------------------------------
+    def get_submodule(self, target: str) -> "Module":
+        """Return the submodule at dotted path ``target`` (empty string = self)."""
+        if target == "":
+            return self
+        module: Module = self
+        for part in target.split("."):
+            if part not in module._modules:
+                raise KeyError(f"no submodule named {target!r} (missing {part!r})")
+            module = module._modules[part]
+        return module
+
+    def set_submodule(self, target: str, new_module: "Module") -> None:
+        """Replace the submodule at dotted path ``target`` with ``new_module``."""
+        if target == "":
+            raise ValueError("cannot replace the root module")
+        *parent_path, leaf = target.split(".")
+        parent = self.get_submodule(".".join(parent_path))
+        if leaf not in parent._modules:
+            raise KeyError(f"no submodule named {target!r}")
+        parent.add_module(leaf, new_module)
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot of all parameters and buffers as (copied) numpy arrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers (in place) from :meth:`state_dict` output."""
+        params = dict(self.named_parameters())
+        buffers = {name: (owner, key) for owner, name, key in self._iter_buffer_owners()}
+        missing: List[str] = []
+        for name, value in state.items():
+            if name in params:
+                if params[name].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: model {params[name].shape} vs state {value.shape}"
+                    )
+                params[name].data[...] = value
+            elif name in buffers:
+                owner, key = buffers[name]
+                owner._buffers[key][...] = value
+            elif strict:
+                missing.append(name)
+        if strict and missing:
+            raise KeyError(f"unexpected keys in state dict: {missing}")
+
+    def _iter_buffer_owners(self, prefix: str = "") -> Iterator[Tuple["Module", str, str]]:
+        for key in self._buffers:
+            full = f"{prefix}.{key}" if prefix else key
+            yield self, full, key
+        for mod_name, child in self._modules.items():
+            child_prefix = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from child._iter_buffer_owners(child_prefix)
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def apply(self, fn) -> "Module":
+        """Apply ``fn`` to self and every submodule (post-order on children first)."""
+        for child in self._modules.values():
+            child.apply(fn)
+        fn(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # forward hooks
+    # ------------------------------------------------------------------
+    def register_forward_hook(self, hook) -> "HookHandle":
+        """Register ``hook(module, inputs, output)`` to run after every forward call.
+
+        Used by SmoothQuant, the distribution-analysis benchmarks and the
+        calibration machinery to observe intermediate activations without
+        modifying model code.  Returns a handle whose ``remove()`` detaches it.
+        """
+        handle = HookHandle(self._forward_hooks)
+        self._forward_hooks[handle.hook_id] = hook
+        return handle
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        output = self.forward(*args, **kwargs)
+        if self._forward_hooks:
+            for hook in list(self._forward_hooks.values()):
+                hook(self, args, output)
+        return output
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"

@@ -1,0 +1,115 @@
+"""Normalisation layers: BatchNorm1d/2d, LayerNorm, GroupNorm.
+
+BatchNorm keeps running statistics in registered buffers so that the paper's
+*BatchNorm Calibration* step (recompute mean/variance on augmented calibration
+data after quantization, Section 3 / Figure 7) can refresh them without
+touching the learnable affine parameters.  LayerNorm is the operator whose
+outlier-amplifying behaviour motivates FP8 for NLP models; it is quantized by
+the *extended* scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm", "GroupNorm"]
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        # When True, forward() updates running statistics even in eval mode —
+        # this is the switch BatchNorm calibration flips.  During calibration a
+        # cumulative (1/n) average is used so the result does not depend on the
+        # momentum hyper-parameter or the batch order.
+        self.calibrating = False
+        self._calibration_batches = 0
+
+    def reset_running_stats(self) -> None:
+        """Reset running statistics (used before BatchNorm calibration)."""
+        self.running_mean[...] = 0.0
+        self.running_var[...] = 1.0
+        self._calibration_batches = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        update_stats = self.training or self.calibrating
+        momentum = self.momentum
+        if self.calibrating and not self.training:
+            self._calibration_batches += 1
+            momentum = 1.0 / self._calibration_batches
+        return F.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=update_stats,
+            momentum=momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over (N, C) inputs."""
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over (N, C, H, W) inputs."""
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def extra_repr(self) -> str:
+        return f"normalized_shape={self.normalized_shape}, eps={self.eps}"
+
+
+class GroupNorm(Module):
+    """Group normalisation over channel groups of NCHW inputs (used by the tiny U-Net)."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(f"num_channels {num_channels} not divisible by num_groups {num_groups}")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        g = self.num_groups
+        grouped = x.reshape(n, g, c // g * h * w)
+        mean = grouped.mean(axis=-1, keepdims=True)
+        var = grouped.var(axis=-1, keepdims=True)
+        normed = (grouped - mean) / (var + self.eps).sqrt()
+        normed = normed.reshape(n, c, h, w)
+        return normed * self.weight.reshape(1, c, 1, 1) + self.bias.reshape(1, c, 1, 1)
+
+    def extra_repr(self) -> str:
+        return f"num_groups={self.num_groups}, num_channels={self.num_channels}"

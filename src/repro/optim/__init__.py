@@ -1,0 +1,6 @@
+"""Optimizers used to train the synthetic model zoo (SGD with momentum, Adam)."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+
+__all__ = ["SGD", "Adam"]

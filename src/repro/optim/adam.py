@@ -1,0 +1,54 @@
+"""Adam optimizer (used for the transformer-style models in the zoo)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with bias correction and optional decoupled weight decay (AdamW style)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad**2
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.lr * self.weight_decay * p.data
+            p.data -= update

@@ -1,0 +1,43 @@
+"""Stochastic gradient descent with momentum and optional weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Classic SGD: ``v = mu * v + g``, ``p -= lr * v``."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            v *= self.momentum
+            v += grad
+            p.data -= self.lr * v

@@ -1,0 +1,54 @@
+"""Quantization quality metrics: tensor-level error and the paper's pass criterion."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "sqnr",
+    "relative_accuracy_loss",
+    "absolute_accuracy_loss",
+    "meets_accuracy_target",
+    "DEFAULT_RELATIVE_LOSS_TARGET",
+]
+
+#: The paper's pass criterion: at most 1% *relative* accuracy loss vs the FP32 baseline.
+DEFAULT_RELATIVE_LOSS_TARGET = 0.01
+
+
+def mse(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between a reference tensor and its quantized version."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    return float(np.mean((reference - quantized) ** 2))
+
+
+def sqnr(reference: np.ndarray, quantized: np.ndarray, eps: float = 1e-20) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    noise = np.asarray(quantized, dtype=np.float64) - reference
+    signal_power = float(np.mean(reference**2))
+    noise_power = float(np.mean(noise**2))
+    return 10.0 * np.log10(max(signal_power, eps) / max(noise_power, eps))
+
+
+def absolute_accuracy_loss(fp32_metric: float, quantized_metric: float) -> float:
+    """Raw metric drop (positive = the quantized model is worse)."""
+    return float(fp32_metric - quantized_metric)
+
+
+def relative_accuracy_loss(fp32_metric: float, quantized_metric: float, eps: float = 1e-12) -> float:
+    """Relative accuracy loss ``(fp32 - quantized) / fp32`` used by the pass criterion."""
+    return float((fp32_metric - quantized_metric) / max(abs(fp32_metric), eps))
+
+
+def meets_accuracy_target(
+    fp32_metric: float,
+    quantized_metric: float,
+    relative_loss_target: float = DEFAULT_RELATIVE_LOSS_TARGET,
+) -> bool:
+    """The paper's pass criterion: relative loss of at most ``relative_loss_target`` (1%)."""
+    return relative_accuracy_loss(fp32_metric, quantized_metric) <= relative_loss_target

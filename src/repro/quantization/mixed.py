@@ -1,0 +1,99 @@
+"""Mixed FP8 format assignment (paper Section 3.2, Figure 8, Table 5).
+
+The paper observes that tensors fall into two classes:
+
+* **range-bound** tensors — NLP activations with outliers — need the wider
+  dynamic range of E4M3 (or E5M2);
+* **precision-bound** tensors — weights, and most CV activations — benefit from
+  the extra mantissa bit of E3M4.
+
+The best NLP accuracy came from mixing: E4M3 for activations, E3M4 for weights.
+:func:`classify_tensor` implements the range/precision-bound heuristic and
+:func:`assign_mixed_formats` builds the per-operator overrides for a recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.quantization.qconfig import (
+    OperatorQuantConfig,
+    QuantFormat,
+    QuantizationRecipe,
+)
+
+__all__ = ["classify_tensor", "assign_mixed_formats", "MIXED_NLP_FORMATS", "kurtosis"]
+
+#: the paper's recommended mixed assignment for NLP models
+MIXED_NLP_FORMATS = {"activation": QuantFormat.E4M3, "weight": QuantFormat.E3M4}
+
+
+def kurtosis(x: np.ndarray) -> float:
+    """Excess kurtosis — long-tailed (outlier-heavy) tensors have large positive values."""
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    std = x.std()
+    if std == 0:
+        return 0.0
+    z = (x - x.mean()) / std
+    return float(np.mean(z**4) - 3.0)
+
+
+def classify_tensor(
+    x: np.ndarray,
+    outlier_ratio_threshold: float = 8.0,
+    kurtosis_threshold: float = 20.0,
+) -> str:
+    """Classify a tensor as ``"range-bound"`` or ``"precision-bound"``.
+
+    A tensor is range-bound when its absolute maximum is much larger than its
+    99th-percentile magnitude (isolated outliers stretch the range) or when its
+    kurtosis is very large; otherwise it is precision-bound.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if x.size == 0:
+        return "precision-bound"
+    absmax = np.max(np.abs(x))
+    p99 = np.percentile(np.abs(x), 99.0)
+    ratio = absmax / max(p99, 1e-12)
+    if ratio >= outlier_ratio_threshold or kurtosis(x) >= kurtosis_threshold:
+        return "range-bound"
+    return "precision-bound"
+
+
+def format_for_tensor(x: np.ndarray) -> QuantFormat:
+    """Pick E4M3 for range-bound tensors and E3M4 for precision-bound ones."""
+    return QuantFormat.E4M3 if classify_tensor(x) == "range-bound" else QuantFormat.E3M4
+
+
+def assign_mixed_formats(
+    recipe: QuantizationRecipe,
+    activation_stats: Optional[Dict[str, np.ndarray]] = None,
+) -> QuantizationRecipe:
+    """Return a copy of ``recipe`` using the paper's mixed FP8 assignment.
+
+    By default the static rule is applied (E4M3 activations, E3M4 weights).
+    If ``activation_stats`` (module name -> captured activations) is provided,
+    each module's activation format is chosen from its own distribution via
+    :func:`classify_tensor`, which is the data-driven variant of the recipe.
+    """
+    base = replace(
+        recipe,
+        name=f"{recipe.name}+mixed",
+        activation_fmt=MIXED_NLP_FORMATS["activation"],
+        weight_fmt=MIXED_NLP_FORMATS["weight"],
+    )
+    if not activation_stats:
+        return base
+
+    overrides: Dict[str, OperatorQuantConfig] = dict(base.module_overrides)
+    defaults = base.tensor_configs()
+    for module_name, activations in activation_stats.items():
+        act_fmt = format_for_tensor(activations)
+        overrides[module_name] = OperatorQuantConfig(
+            activation=replace(defaults.activation, fmt=act_fmt),
+            weight=defaults.weight,
+        )
+    return replace(base, module_overrides=overrides)

@@ -1,0 +1,288 @@
+"""Range-calibration observers.
+
+Observers watch tensors during the calibration pass and produce the calibrated
+range (absolute maximum, or min/max for asymmetric INT8) that the quantizers
+turn into scale factors.  The paper's finding (Section 3 and Appendix A.1) is
+that *simple max scaling* is sufficient for FP8 — KL / MSE / percentile
+clipping, which help INT8, bring no benefit and can hurt because the FP8 grid
+is already dense near zero.  All of them are implemented here so the Appendix
+A.1 benchmark can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.quantization.qconfig import Granularity, QuantFormat, TensorQuantConfig
+
+__all__ = [
+    "Observer",
+    "MinMaxObserver",
+    "MovingAverageMinMaxObserver",
+    "PercentileObserver",
+    "MSEObserver",
+    "KLObserver",
+    "build_observer",
+]
+
+
+class Observer:
+    """Base class: accumulate statistics over calibration batches."""
+
+    def __init__(self, config: TensorQuantConfig, channel_axis: Optional[int] = None) -> None:
+        self.config = config
+        self.channel_axis = channel_axis if config.granularity is Granularity.PER_CHANNEL else None
+        self.num_batches = 0
+
+    # -- interface ------------------------------------------------------
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (min_val, max_val) of the calibrated range."""
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------
+    def _reduce_axes(self, x: np.ndarray) -> Optional[Tuple[int, ...]]:
+        if self.channel_axis is None:
+            return None
+        axis = self.channel_axis % x.ndim
+        return tuple(a for a in range(x.ndim) if a != axis)
+
+    def calibrated_absmax(self) -> np.ndarray:
+        lo, hi = self.calibrated_range()
+        return np.maximum(np.abs(lo), np.abs(hi))
+
+    @property
+    def ready(self) -> bool:
+        return self.num_batches > 0
+
+
+class MinMaxObserver(Observer):
+    """Track the running min / max (the paper's default "max scaling")."""
+
+    def __init__(self, config: TensorQuantConfig, channel_axis: Optional[int] = None) -> None:
+        super().__init__(config, channel_axis)
+        self._min: Optional[np.ndarray] = None
+        self._max: Optional[np.ndarray] = None
+
+    def observe(self, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        axes = self._reduce_axes(x)
+        if axes is None:
+            mn, mx = np.min(x), np.max(x)
+        else:
+            mn = np.min(x, axis=axes)
+            mx = np.max(x, axis=axes)
+        if self._min is None:
+            self._min, self._max = np.asarray(mn), np.asarray(mx)
+        else:
+            self._min = np.minimum(self._min, mn)
+            self._max = np.maximum(self._max, mx)
+        self.num_batches += 1
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._min is None:
+            raise RuntimeError("observer has not seen any data")
+        return self._min, self._max
+
+
+class MovingAverageMinMaxObserver(Observer):
+    """Exponential moving average of per-batch min / max (smoother than raw min/max)."""
+
+    def __init__(
+        self,
+        config: TensorQuantConfig,
+        channel_axis: Optional[int] = None,
+        momentum: float = 0.9,
+    ) -> None:
+        super().__init__(config, channel_axis)
+        self.momentum = momentum
+        self._min: Optional[np.ndarray] = None
+        self._max: Optional[np.ndarray] = None
+
+    def observe(self, x: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        axes = self._reduce_axes(x)
+        if axes is None:
+            mn, mx = np.min(x), np.max(x)
+        else:
+            mn = np.min(x, axis=axes)
+            mx = np.max(x, axis=axes)
+        if self._min is None:
+            self._min, self._max = np.asarray(mn, dtype=np.float64), np.asarray(mx, dtype=np.float64)
+        else:
+            m = self.momentum
+            self._min = m * self._min + (1 - m) * mn
+            self._max = m * self._max + (1 - m) * mx
+        self.num_batches += 1
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._min is None:
+            raise RuntimeError("observer has not seen any data")
+        return self._min, self._max
+
+
+class PercentileObserver(Observer):
+    """Clip the range to a percentile of the observed magnitudes (per-tensor only)."""
+
+    def __init__(
+        self,
+        config: TensorQuantConfig,
+        channel_axis: Optional[int] = None,
+        percentile: float = 99.9,
+        max_samples: int = 1_000_000,
+    ) -> None:
+        super().__init__(config, channel_axis=None)
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._samples: list = []
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        if flat.size > self.max_samples // 8:
+            idx = np.linspace(0, flat.size - 1, self.max_samples // 8).astype(np.int64)
+            flat = flat[idx]
+        self._samples.append(flat)
+        self.num_batches += 1
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._samples:
+            raise RuntimeError("observer has not seen any data")
+        data = np.concatenate(self._samples)
+        lo = np.percentile(data, 100.0 - self.percentile)
+        hi = np.percentile(data, self.percentile)
+        return np.asarray(lo), np.asarray(hi)
+
+
+class _SearchObserver(Observer):
+    """Shared machinery for observers that search for the best clipping threshold."""
+
+    def __init__(self, config: TensorQuantConfig, channel_axis: Optional[int] = None) -> None:
+        super().__init__(config, channel_axis=None)
+        self._samples: list = []
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        if flat.size > 65536:
+            idx = np.linspace(0, flat.size - 1, 65536).astype(np.int64)
+            flat = flat[idx]
+        self._samples.append(flat)
+        self.num_batches += 1
+
+    def _data(self) -> np.ndarray:
+        if not self._samples:
+            raise RuntimeError("observer has not seen any data")
+        return np.concatenate(self._samples)
+
+    def _quant_error(self, data: np.ndarray, absmax: float) -> float:
+        """Mean-squared quantization error if the range is clipped at ``absmax``."""
+        from repro.fp8.int8 import int8_quantize_dequantize
+        from repro.fp8.quantize import quantize_dequantize
+
+        clipped = np.clip(data, -absmax, absmax)
+        if self.config.fmt.is_fp8:
+            fmt = self.config.fmt.fp8_format()
+            scale = fmt.max_value / max(absmax, 1e-12)
+            deq = quantize_dequantize(clipped, fmt, scale=np.asarray(scale))
+        else:
+            spec = self.config.fmt.int8_spec()
+            scale = max(absmax, 1e-12) / spec.qmax
+            deq = int8_quantize_dequantize(
+                clipped, spec=spec, scale=np.asarray(scale), zero_point=np.asarray(0.0)
+            )
+        return float(np.mean((deq - data) ** 2))
+
+
+class MSEObserver(_SearchObserver):
+    """Pick the clipping threshold minimising quantization MSE over a grid of candidates."""
+
+    def __init__(
+        self,
+        config: TensorQuantConfig,
+        channel_axis: Optional[int] = None,
+        num_candidates: int = 20,
+    ) -> None:
+        super().__init__(config, channel_axis)
+        self.num_candidates = num_candidates
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        data = self._data()
+        absmax = float(np.max(np.abs(data))) or 1e-12
+        candidates = absmax * np.linspace(0.3, 1.0, self.num_candidates)
+        errors = [self._quant_error(data, c) for c in candidates]
+        best = float(candidates[int(np.argmin(errors))])
+        return np.asarray(-best), np.asarray(best)
+
+
+class KLObserver(_SearchObserver):
+    """TensorRT-style KL-divergence clipping threshold search over a histogram."""
+
+    def __init__(
+        self,
+        config: TensorQuantConfig,
+        channel_axis: Optional[int] = None,
+        num_bins: int = 2048,
+        num_quant_bins: int = 255,
+        num_candidates: int = 32,
+    ) -> None:
+        super().__init__(config, channel_axis)
+        self.num_bins = num_bins
+        self.num_quant_bins = num_quant_bins
+        self.num_candidates = num_candidates
+
+    @staticmethod
+    def _kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+        p = p / max(p.sum(), 1e-12)
+        q = q / max(q.sum(), 1e-12)
+        mask = p > 0
+        q = np.where(q > 0, q, 1e-12)
+        return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+    def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
+        data = np.abs(self._data())
+        absmax = float(np.max(data)) or 1e-12
+        hist, edges = np.histogram(data, bins=self.num_bins, range=(0.0, absmax))
+        hist = hist.astype(np.float64)
+
+        best_threshold = absmax
+        best_kl = np.inf
+        start = max(self.num_quant_bins, self.num_bins // self.num_candidates)
+        for cut in np.linspace(start, self.num_bins, self.num_candidates).astype(int):
+            p = hist[:cut].copy()
+            p[-1] += hist[cut:].sum()  # clipped mass collapses into the last bin
+            # quantize the distribution into num_quant_bins buckets and expand back
+            chunks = np.array_split(np.arange(cut), self.num_quant_bins)
+            q = np.zeros(cut)
+            for chunk in chunks:
+                if len(chunk) == 0:
+                    continue
+                total = hist[chunk].sum()
+                nonzero = np.count_nonzero(hist[chunk])
+                if nonzero:
+                    q[chunk] = np.where(hist[chunk] > 0, total / nonzero, 0.0)
+            kl = self._kl_divergence(p, q)
+            if kl < best_kl:
+                best_kl = kl
+                best_threshold = edges[cut]
+        return np.asarray(-best_threshold), np.asarray(best_threshold)
+
+
+_OBSERVERS = {
+    "minmax": MinMaxObserver,
+    "moving_average": MovingAverageMinMaxObserver,
+    "percentile": PercentileObserver,
+    "mse": MSEObserver,
+    "kl": KLObserver,
+}
+
+
+def build_observer(
+    config: TensorQuantConfig, channel_axis: Optional[int] = None, **kwargs
+) -> Observer:
+    """Instantiate the observer named in ``config.observer``."""
+    if config.observer not in _OBSERVERS:
+        raise KeyError(f"unknown observer {config.observer!r}; available: {sorted(_OBSERVERS)}")
+    return _OBSERVERS[config.observer](config, channel_axis=channel_axis, **kwargs)

@@ -1,0 +1,287 @@
+"""Quantization configuration: formats, granularity, approach, per-operator configs and recipes.
+
+A :class:`QuantizationRecipe` is the declarative description of everything the
+workflow in :mod:`repro.quantization.workflow` does to a model.  The two
+factory functions :func:`standard_recipe` and :func:`extended_recipe` encode
+the paper's Section 3.1 / 3.2 schemes; :func:`int8_recipe` builds the INT8
+baseline used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.fp8.formats import FP8Format, get_format
+from repro.fp8.int8 import INT8_ASYMMETRIC, INT8_SYMMETRIC, Int8Spec
+
+__all__ = [
+    "QuantFormat",
+    "Granularity",
+    "Approach",
+    "TensorQuantConfig",
+    "OperatorQuantConfig",
+    "QuantizationRecipe",
+    "standard_recipe",
+    "extended_recipe",
+    "int8_recipe",
+    "STANDARD_OPERATORS",
+    "EXTENDED_OPERATORS",
+]
+
+
+class QuantFormat(str, enum.Enum):
+    """Numeric formats supported by the framework."""
+
+    E5M2 = "E5M2"
+    E4M3 = "E4M3"
+    E3M4 = "E3M4"
+    E2M5 = "E2M5"
+    INT8 = "INT8"
+    INT8_ASYM = "INT8-asym"
+    FP32 = "FP32"
+
+    @property
+    def is_fp8(self) -> bool:
+        return self in (QuantFormat.E5M2, QuantFormat.E4M3, QuantFormat.E3M4, QuantFormat.E2M5)
+
+    @property
+    def is_int8(self) -> bool:
+        return self in (QuantFormat.INT8, QuantFormat.INT8_ASYM)
+
+    def fp8_format(self) -> FP8Format:
+        if not self.is_fp8:
+            raise ValueError(f"{self.value} is not an FP8 format")
+        return get_format(self.value)
+
+    def int8_spec(self) -> Int8Spec:
+        if not self.is_int8:
+            raise ValueError(f"{self.value} is not an INT8 format")
+        return INT8_SYMMETRIC if self is QuantFormat.INT8 else INT8_ASYMMETRIC
+
+
+class Granularity(str, enum.Enum):
+    """Scaling granularity."""
+
+    PER_TENSOR = "per_tensor"
+    PER_CHANNEL = "per_channel"
+
+
+class Approach(str, enum.Enum):
+    """When activation ranges are determined.
+
+    ``STATIC``  — ranges calibrated offline on calibration data (paper default).
+    ``DYNAMIC`` — ranges computed from each batch at inference time.
+    ``DIRECT``  — no range calibration at all (scale = 1); used by E5M2, whose
+    dynamic range covers typical activations without rescaling.
+    """
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class TensorQuantConfig:
+    """How a single tensor role (weight or activation) is quantized."""
+
+    fmt: QuantFormat
+    granularity: Granularity = Granularity.PER_TENSOR
+    approach: Approach = Approach.STATIC
+    observer: str = "minmax"
+
+    @property
+    def enabled(self) -> bool:
+        return self.fmt is not QuantFormat.FP32
+
+
+@dataclass(frozen=True)
+class OperatorQuantConfig:
+    """Weight + activation configuration for one operator type (or one named operator)."""
+
+    activation: TensorQuantConfig
+    weight: Optional[TensorQuantConfig] = None
+
+    def with_format(
+        self, activation_fmt: QuantFormat, weight_fmt: Optional[QuantFormat] = None
+    ) -> "OperatorQuantConfig":
+        weight = self.weight
+        if weight is not None and weight_fmt is not None:
+            weight = replace(weight, fmt=weight_fmt)
+        return OperatorQuantConfig(activation=replace(self.activation, fmt=activation_fmt), weight=weight)
+
+
+# Operator-type names used by recipes (they map onto module classes in qmodules).
+STANDARD_OPERATORS: Tuple[str, ...] = ("Conv2d", "Linear", "Embedding", "EmbeddingBag")
+EXTENDED_OPERATORS: Tuple[str, ...] = STANDARD_OPERATORS + (
+    "BatchMatMul",
+    "LayerNorm",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "Add",
+    "Mul",
+)
+
+
+@dataclass
+class QuantizationRecipe:
+    """Full declarative description of a quantization run (one point in the tuning space)."""
+
+    name: str
+    activation_fmt: QuantFormat
+    weight_fmt: QuantFormat
+    approach: Approach = Approach.STATIC
+    operators: Tuple[str, ...] = STANDARD_OPERATORS
+    weight_granularity: Granularity = Granularity.PER_CHANNEL
+    activation_granularity: Granularity = Granularity.PER_TENSOR
+    observer: str = "minmax"
+    # convolutional-network handling of the first conv / last linear (paper §3.1)
+    skip_first_operator: bool = True
+    skip_last_operator: bool = True
+    # extended-scheme options
+    smoothquant: bool = False
+    smoothquant_alpha: float = 0.5
+    batchnorm_calibration: bool = False
+    bn_calibration_samples: int = 3000
+    bn_calibration_transform: str = "training"
+    # per-operator-type or per-module-name overrides
+    operator_overrides: Dict[str, OperatorQuantConfig] = field(default_factory=dict)
+    module_overrides: Dict[str, OperatorQuantConfig] = field(default_factory=dict)
+    # modules that must stay in FP32 (accuracy-driven fallback list)
+    fallback_modules: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def tensor_configs(self) -> OperatorQuantConfig:
+        """Default per-operator config derived from the recipe-level settings."""
+        approach = self.approach
+        if self.activation_fmt is QuantFormat.E5M2 and approach is Approach.STATIC:
+            # E5M2 uses direct quantization: its dynamic range needs no calibration.
+            approach = Approach.DIRECT
+        activation = TensorQuantConfig(
+            fmt=self.activation_fmt,
+            granularity=self.activation_granularity,
+            approach=approach,
+            observer=self.observer,
+        )
+        weight = TensorQuantConfig(
+            fmt=self.weight_fmt,
+            granularity=self.weight_granularity,
+            approach=Approach.STATIC,
+            observer="minmax",
+        )
+        return OperatorQuantConfig(activation=activation, weight=weight)
+
+    def config_for(self, type_name: str, module_name: str) -> Optional[OperatorQuantConfig]:
+        """Resolve the config for a module (or None if it should stay FP32)."""
+        if module_name in self.fallback_modules:
+            return None
+        if module_name in self.module_overrides:
+            return self.module_overrides[module_name]
+        if type_name in self.operator_overrides:
+            return self.operator_overrides[type_name]
+        if type_name not in self.operators:
+            return None
+        return self.tensor_configs()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "activation_fmt": self.activation_fmt.value,
+            "weight_fmt": self.weight_fmt.value,
+            "approach": self.approach.value,
+            "operators": list(self.operators),
+            "skip_first_operator": self.skip_first_operator,
+            "skip_last_operator": self.skip_last_operator,
+            "smoothquant": self.smoothquant,
+            "batchnorm_calibration": self.batchnorm_calibration,
+            "fallback_modules": list(self.fallback_modules),
+        }
+
+
+FormatLike = Union[str, QuantFormat]
+
+
+def _fmt(fmt: FormatLike) -> QuantFormat:
+    return fmt if isinstance(fmt, QuantFormat) else QuantFormat(str(fmt).upper() if str(fmt).lower() != "int8-asym" else "INT8-asym")
+
+
+def standard_recipe(
+    fmt: FormatLike = QuantFormat.E4M3,
+    approach: Approach = Approach.STATIC,
+    weight_fmt: Optional[FormatLike] = None,
+    **kwargs,
+) -> QuantizationRecipe:
+    """The paper's *standard quantization scheme* (Section 3.1).
+
+    Conv / Linear / Embedding operators, per-channel weight scaling, per-tensor
+    activation scaling with max calibration, first & last operators of
+    convolutional networks kept in FP32.
+    """
+    fmt = _fmt(fmt)
+    weight_fmt = _fmt(weight_fmt) if weight_fmt is not None else fmt
+    return QuantizationRecipe(
+        name=kwargs.pop("name", f"standard-{fmt.value}-{approach.value}"),
+        activation_fmt=fmt,
+        weight_fmt=weight_fmt,
+        approach=approach,
+        operators=STANDARD_OPERATORS,
+        **kwargs,
+    )
+
+
+def extended_recipe(
+    fmt: FormatLike = QuantFormat.E4M3,
+    approach: Approach = Approach.STATIC,
+    weight_fmt: Optional[FormatLike] = None,
+    mixed_formats: bool = False,
+    smoothquant: bool = False,
+    batchnorm_calibration: bool = True,
+    **kwargs,
+) -> QuantizationRecipe:
+    """The paper's *extended quantization scheme* (Section 3.2).
+
+    Adds LayerNorm / BatchNorm / BatchMatMul / element-wise operator coverage,
+    optional mixed FP8 formats (E4M3 activations + E3M4 weights) and BatchNorm
+    calibration for CV models.
+    """
+    fmt = _fmt(fmt)
+    if mixed_formats:
+        activation_fmt, weight_fmt = QuantFormat.E4M3, QuantFormat.E3M4
+    else:
+        activation_fmt = fmt
+        weight_fmt = _fmt(weight_fmt) if weight_fmt is not None else fmt
+    return QuantizationRecipe(
+        name=kwargs.pop(
+            "name",
+            f"extended-{activation_fmt.value}a-{weight_fmt.value}w-{approach.value}",
+        ),
+        activation_fmt=activation_fmt,
+        weight_fmt=weight_fmt,
+        approach=approach,
+        operators=EXTENDED_OPERATORS,
+        smoothquant=smoothquant,
+        batchnorm_calibration=batchnorm_calibration,
+        **kwargs,
+    )
+
+
+def int8_recipe(
+    approach: Approach = Approach.STATIC,
+    asymmetric_activations: bool = False,
+    **kwargs,
+) -> QuantizationRecipe:
+    """The INT8 baseline: per-channel symmetric INT8 weights, per-tensor INT8 activations.
+
+    The paper's Table 2 row uses static INT8 for CV models and dynamic INT8 for
+    NLP models; pass the appropriate ``approach`` per workload.
+    """
+    act_fmt = QuantFormat.INT8_ASYM if asymmetric_activations else QuantFormat.INT8
+    return QuantizationRecipe(
+        name=kwargs.pop("name", f"int8-{approach.value}"),
+        activation_fmt=act_fmt,
+        weight_fmt=QuantFormat.INT8,
+        approach=approach,
+        operators=STANDARD_OPERATORS,
+        **kwargs,
+    )

@@ -1,0 +1,299 @@
+"""Quantized operator wrappers (Q/DQ emulation).
+
+Quantization is emulated exactly as in the paper's framework: the wrapped
+operator still computes in FP32, but its weights are rounded onto the 8-bit
+grid once at convert time and its activation inputs are rounded on every
+forward call (with a scale that is either calibrated offline — *static* — or
+computed from the batch — *dynamic*).  Each wrapper keeps the original float
+module as a submodule, so parameter traversal, state dicts and repr all keep
+working after conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.fp8.int8 import int8_compute_qparams, int8_quantize_dequantize
+from repro.fp8.quantize import compute_scale, quantize_dequantize
+from repro.nn.attention import BatchMatMul
+from repro.nn.elementwise import Add, Mul
+from repro.nn.layers import Conv2d, Embedding, EmbeddingBag, Linear
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.quantization.observers import Observer, build_observer
+from repro.quantization.qconfig import (
+    Approach,
+    Granularity,
+    OperatorQuantConfig,
+    QuantFormat,
+    TensorQuantConfig,
+)
+
+__all__ = [
+    "TensorQuantizer",
+    "QuantizedModule",
+    "QuantizedLinear",
+    "QuantizedConv2d",
+    "QuantizedEmbedding",
+    "QuantizedLayerNorm",
+    "QuantizedBatchNorm2d",
+    "QuantizedBatchMatMul",
+    "QuantizedAdd",
+    "QuantizedMul",
+    "QUANTIZED_MODULE_MAP",
+    "wrap_module",
+]
+
+
+class TensorQuantizer:
+    """Quantize/dequantize one tensor role (a weight or an activation input).
+
+    The quantizer owns an :class:`~repro.quantization.observers.Observer` used
+    during calibration and, after :meth:`freeze`, the calibrated range it needs
+    at inference time.
+    """
+
+    def __init__(self, config: TensorQuantConfig, channel_axis: Optional[int] = None) -> None:
+        self.config = config
+        self.channel_axis = channel_axis if config.granularity is Granularity.PER_CHANNEL else None
+        self.observer: Observer = build_observer(config, channel_axis=self.channel_axis)
+        self.frozen = False
+        self._absmax: Optional[np.ndarray] = None
+        self._min: Optional[np.ndarray] = None
+        self._max: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def observe(self, x: np.ndarray) -> None:
+        if self.config.approach is Approach.STATIC and self.config.enabled:
+            self.observer.observe(x)
+
+    def freeze(self, fallback: Optional[np.ndarray] = None) -> None:
+        """Fix the calibrated range.  ``fallback`` is used when no data was observed."""
+        if not self.config.enabled or self.config.approach is not Approach.STATIC:
+            self.frozen = True
+            return
+        if self.observer.ready:
+            self._min, self._max = self.observer.calibrated_range()
+            self._absmax = self.observer.calibrated_absmax()
+        elif fallback is not None:
+            self._absmax = np.asarray(np.max(np.abs(fallback)))
+            self._min = np.asarray(np.min(fallback))
+            self._max = np.asarray(np.max(fallback))
+        else:
+            raise RuntimeError(
+                "static quantizer frozen without calibration data; run calibrate_model() first"
+            )
+        self.frozen = True
+
+    # ------------------------------------------------------------------
+    def _reshape_channelwise(self, values: np.ndarray, ndim: int) -> np.ndarray:
+        if self.channel_axis is None or values.ndim == 0:
+            return values
+        shape = [1] * ndim
+        shape[self.channel_axis] = -1
+        return values.reshape(shape)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round ``x`` onto the configured 8-bit grid (returns float32)."""
+        if not self.config.enabled:
+            return np.asarray(x, dtype=np.float32)
+        x = np.asarray(x, dtype=np.float32)
+        fmt = self.config.fmt
+
+        if fmt.is_fp8:
+            fp8 = fmt.fp8_format()
+            if self.config.approach is Approach.DIRECT:
+                scale = np.asarray(1.0)
+            elif self.config.approach is Approach.DYNAMIC or not self.frozen:
+                scale = compute_scale(x, fp8, axis=self.channel_axis)
+            else:
+                absmax = self._reshape_channelwise(np.asarray(self._absmax), x.ndim)
+                scale = fp8.max_value / np.maximum(absmax, 1e-12)
+            return quantize_dequantize(x, fp8, scale=scale)
+
+        # INT8 path
+        spec = fmt.int8_spec()
+        if self.config.approach is Approach.DYNAMIC or not self.frozen or self._min is None:
+            scale, zero_point = int8_compute_qparams(x, spec=spec, axis=self.channel_axis)
+        else:
+            min_val = self._reshape_channelwise(np.asarray(self._min), x.ndim)
+            max_val = self._reshape_channelwise(np.asarray(self._max), x.ndim)
+            scale, zero_point = int8_compute_qparams(
+                x, spec=spec, axis=self.channel_axis, min_val=min_val, max_val=max_val
+            )
+        return int8_quantize_dequantize(x, spec=spec, scale=scale, zero_point=zero_point)
+
+    def describe(self) -> dict:
+        return {
+            "format": self.config.fmt.value,
+            "approach": self.config.approach.value,
+            "granularity": self.config.granularity.value,
+            "frozen": self.frozen,
+            "absmax": None if self._absmax is None else np.asarray(self._absmax).tolist(),
+        }
+
+
+class QuantizedModule(Module):
+    """Base wrapper: observes activations during calibration, Q/DQs them after conversion."""
+
+    #: number of quantizable tensor inputs the wrapped operator takes
+    num_inputs = 1
+    #: whether the wrapped operator has a weight parameter to quantize
+    has_weight = True
+    #: axis of the weight tensor that indexes output channels
+    weight_channel_axis = 0
+
+    def __init__(self, inner: Module, config: OperatorQuantConfig, name: str = "") -> None:
+        super().__init__()
+        self.inner = inner
+        self.config = config
+        self.module_name = name
+        self.observing = False
+        self.quantizing = False
+        self.input_quantizers = [
+            TensorQuantizer(config.activation) for _ in range(self.num_inputs)
+        ]
+        self.weight_quantizer: Optional[TensorQuantizer] = None
+        if self.has_weight and config.weight is not None and hasattr(inner, "weight"):
+            self.weight_quantizer = TensorQuantizer(
+                config.weight, channel_axis=self.weight_channel_axis
+            )
+        self._original_weight: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # calibration / conversion lifecycle
+    # ------------------------------------------------------------------
+    def start_observing(self) -> None:
+        self.observing = True
+
+    def stop_observing(self) -> None:
+        self.observing = False
+
+    def convert(self) -> None:
+        """Freeze activation ranges and quantize the weight in place."""
+        for quantizer, fallback in zip(self.input_quantizers, self._calibration_fallbacks()):
+            quantizer.freeze(fallback=fallback)
+        if self.weight_quantizer is not None:
+            weight = self.inner.weight.data
+            self._original_weight = weight.copy()
+            self.inner.weight.data[...] = self.weight_quantizer.quantize(weight)
+        self.observing = False
+        self.quantizing = True
+
+    def restore(self) -> None:
+        """Undo weight quantization (used by the tuning loop when falling back to FP32)."""
+        if self._original_weight is not None:
+            self.inner.weight.data[...] = self._original_weight
+        self.quantizing = False
+
+    def _calibration_fallbacks(self) -> Sequence[Optional[np.ndarray]]:
+        """Per-input fallback data for freezing without calibration (weights only)."""
+        return [None] * self.num_inputs
+
+    # ------------------------------------------------------------------
+    def _process_inputs(self, inputs):
+        processed = []
+        for idx, value in enumerate(inputs):
+            if isinstance(value, Tensor) and idx < len(self.input_quantizers):
+                if self.observing:
+                    self.input_quantizers[idx].observe(value.data)
+                if self.quantizing:
+                    value = Tensor(self.input_quantizers[idx].quantize(value.data))
+            processed.append(value)
+        return processed
+
+    def forward(self, *inputs, **kwargs):
+        return self.inner(*self._process_inputs(inputs), **kwargs)
+
+    def extra_repr(self) -> str:
+        act = self.config.activation
+        w = self.config.weight
+        parts = [f"activation={act.fmt.value}/{act.approach.value}"]
+        if w is not None and self.has_weight:
+            parts.append(f"weight={w.fmt.value}/{w.granularity.value}")
+        return ", ".join(parts)
+
+
+class QuantizedLinear(QuantizedModule):
+    """Quantized fully-connected layer (per-channel weights, per-tensor activations)."""
+
+    num_inputs = 1
+    has_weight = True
+
+
+class QuantizedConv2d(QuantizedModule):
+    """Quantized 2D convolution."""
+
+    num_inputs = 1
+    has_weight = True
+
+
+class QuantizedEmbedding(QuantizedModule):
+    """Quantized embedding table: only the weight is quantized (indices are integers)."""
+
+    num_inputs = 0
+    has_weight = True
+
+    def forward(self, indices, **kwargs):
+        return self.inner(indices, **kwargs)
+
+
+class QuantizedLayerNorm(QuantizedModule):
+    """LayerNorm with quantized input activations (extended scheme operator)."""
+
+    num_inputs = 1
+    has_weight = False
+
+
+class QuantizedBatchNorm2d(QuantizedModule):
+    """BatchNorm with quantized input activations (extended scheme operator)."""
+
+    num_inputs = 1
+    has_weight = False
+
+
+class QuantizedBatchMatMul(QuantizedModule):
+    """Batched matmul with both inputs quantized (attention QK^T and probs-V products)."""
+
+    num_inputs = 2
+    has_weight = False
+
+
+class QuantizedAdd(QuantizedModule):
+    """Element-wise addition with both inputs quantized (residual connections)."""
+
+    num_inputs = 2
+    has_weight = False
+
+
+class QuantizedMul(QuantizedModule):
+    """Element-wise multiplication with both inputs quantized (gating)."""
+
+    num_inputs = 2
+    has_weight = False
+
+
+#: maps operator type names (as used in recipes) to (module class, wrapper class)
+QUANTIZED_MODULE_MAP = {
+    "Linear": (Linear, QuantizedLinear),
+    "Conv2d": (Conv2d, QuantizedConv2d),
+    "Embedding": (Embedding, QuantizedEmbedding),
+    "EmbeddingBag": (EmbeddingBag, QuantizedEmbedding),
+    "LayerNorm": (LayerNorm, QuantizedLayerNorm),
+    "BatchNorm2d": (BatchNorm2d, QuantizedBatchNorm2d),
+    "BatchNorm1d": (BatchNorm1d, QuantizedBatchNorm2d),
+    "BatchMatMul": (BatchMatMul, QuantizedBatchMatMul),
+    "Add": (Add, QuantizedAdd),
+    "Mul": (Mul, QuantizedMul),
+}
+
+
+def wrap_module(type_name: str, module: Module, config: OperatorQuantConfig, name: str = "") -> QuantizedModule:
+    """Wrap ``module`` with the quantized wrapper registered for ``type_name``."""
+    if type_name not in QUANTIZED_MODULE_MAP:
+        raise KeyError(f"no quantized wrapper registered for operator type {type_name!r}")
+    _, wrapper_cls = QUANTIZED_MODULE_MAP[type_name]
+    return wrapper_cls(module, config, name=name)

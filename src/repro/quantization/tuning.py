@@ -1,0 +1,207 @@
+"""Accuracy-driven automatic tuning (paper Section 3 and Appendix A.1).
+
+The tuner searches the recipe space for the configuration that meets the
+accuracy target (1% relative loss by default) while quantizing as much of the
+model as possible.  The search order follows the paper's workflow: start from
+the standard scheme in the preferred format, then incrementally apply the
+extended-scheme options (mixed formats, dynamic quantization, operator
+fallbacks) in a feedback loop until the target is met or the search space is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.nn.module import Module
+from repro.quantization.metrics import (
+    DEFAULT_RELATIVE_LOSS_TARGET,
+    meets_accuracy_target,
+    relative_accuracy_loss,
+)
+from repro.quantization.qconfig import (
+    Approach,
+    QuantFormat,
+    QuantizationRecipe,
+    extended_recipe,
+    standard_recipe,
+)
+from repro.quantization.workflow import QuantizationResult, quantize_model
+from repro.utils.logging import get_logger
+
+__all__ = ["TuningTrial", "TuningResult", "AutoTuner", "default_search_space"]
+
+logger = get_logger("quantization.tuning")
+
+
+@dataclass
+class TuningTrial:
+    """One evaluated point of the search space."""
+
+    recipe: QuantizationRecipe
+    metric: float
+    relative_loss: float
+    passed: bool
+    num_quantized: int
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run: the best trial plus the full history."""
+
+    best: Optional[TuningTrial]
+    trials: List[TuningTrial] = field(default_factory=list)
+    fp32_metric: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.best is not None and self.best.passed
+
+    def summary(self) -> str:
+        lines = [f"fp32 metric: {self.fp32_metric:.4f}", f"trials: {len(self.trials)}"]
+        for trial in self.trials:
+            flag = "PASS" if trial.passed else "fail"
+            lines.append(
+                f"  [{flag}] {trial.recipe.name}: metric={trial.metric:.4f} "
+                f"rel-loss={trial.relative_loss * 100:.2f}% ops={trial.num_quantized}"
+            )
+        if self.best is not None:
+            lines.append(f"best: {self.best.recipe.name}")
+        return "\n".join(lines)
+
+
+def default_search_space(
+    domain: str = "nlp",
+    fmt: QuantFormat = QuantFormat.E4M3,
+) -> List[QuantizationRecipe]:
+    """The paper's default tuning order for a workload domain.
+
+    NLP: standard static -> mixed FP8 formats -> dynamic -> SmoothQuant+mixed.
+    CV:  standard static (first/last skipped) -> extended with BN calibration ->
+    E3M4 fallback -> quantize-first/last variant last (it is an accuracy risk).
+    """
+    if domain == "nlp":
+        return [
+            standard_recipe(fmt, name=f"standard-{fmt.value}"),
+            extended_recipe(fmt, mixed_formats=True, name="extended-mixed"),
+            standard_recipe(fmt, approach=Approach.DYNAMIC, name=f"dynamic-{fmt.value}"),
+            extended_recipe(fmt, mixed_formats=True, smoothquant=True, name="extended-mixed-smoothquant"),
+        ]
+    return [
+        standard_recipe(fmt, name=f"standard-{fmt.value}"),
+        extended_recipe(fmt, batchnorm_calibration=True, name=f"extended-{fmt.value}-bncal"),
+        standard_recipe(QuantFormat.E3M4, name="standard-E3M4"),
+        extended_recipe(QuantFormat.E3M4, batchnorm_calibration=True, name="extended-E3M4-bncal"),
+    ]
+
+
+class AutoTuner:
+    """Accuracy-driven recipe search.
+
+    Parameters
+    ----------
+    evaluate_fn:
+        Callable mapping a quantized model to its task metric (higher better).
+    fp32_metric:
+        The FP32 baseline metric the relative-loss criterion compares against.
+    relative_loss_target:
+        Pass threshold (default: the paper's 1%).
+    objective:
+        ``"accuracy"`` stops at the first passing recipe in search order
+        (maximum-coverage-first ordering); ``"best"`` evaluates the whole space
+        and returns the recipe with the smallest loss.
+    """
+
+    def __init__(
+        self,
+        evaluate_fn: Callable[[Module], float],
+        fp32_metric: float,
+        relative_loss_target: float = DEFAULT_RELATIVE_LOSS_TARGET,
+        objective: str = "accuracy",
+    ) -> None:
+        if objective not in ("accuracy", "best"):
+            raise ValueError("objective must be 'accuracy' or 'best'")
+        self.evaluate_fn = evaluate_fn
+        self.fp32_metric = fp32_metric
+        self.relative_loss_target = relative_loss_target
+        self.objective = objective
+
+    def evaluate_recipe(
+        self,
+        model: Module,
+        recipe: QuantizationRecipe,
+        **quantize_kwargs,
+    ) -> TuningTrial:
+        """Quantize with one recipe and evaluate it."""
+        result: QuantizationResult = quantize_model(model, recipe, **quantize_kwargs)
+        metric = self.evaluate_fn(result.model)
+        rel_loss = relative_accuracy_loss(self.fp32_metric, metric)
+        passed = meets_accuracy_target(self.fp32_metric, metric, self.relative_loss_target)
+        return TuningTrial(
+            recipe=recipe,
+            metric=metric,
+            relative_loss=rel_loss,
+            passed=passed,
+            num_quantized=result.num_quantized,
+        )
+
+    def tune(
+        self,
+        model: Module,
+        search_space: Sequence[QuantizationRecipe],
+        fallback_candidates: Sequence[str] = (),
+        max_fallback_rounds: int = 2,
+        **quantize_kwargs,
+    ) -> TuningResult:
+        """Search ``search_space`` (plus operator-fallback refinements) for a passing recipe.
+
+        ``fallback_candidates`` are module names (most-sensitive first) that may
+        be pushed back to FP32 if no recipe in the base space passes — this is
+        the "operator level fallback" loop described in Appendix A.1.
+        """
+        result = TuningResult(best=None, fp32_metric=self.fp32_metric)
+        best_trial: Optional[TuningTrial] = None
+
+        def consider(trial: TuningTrial) -> None:
+            nonlocal best_trial
+            result.trials.append(trial)
+            if best_trial is None or trial.relative_loss < best_trial.relative_loss:
+                best_trial = trial
+
+        for recipe in search_space:
+            trial = self.evaluate_recipe(model, recipe, **quantize_kwargs)
+            logger.info(
+                "tuning trial %s: metric=%.4f rel-loss=%.2f%% %s",
+                recipe.name,
+                trial.metric,
+                trial.relative_loss * 100,
+                "PASS" if trial.passed else "fail",
+            )
+            consider(trial)
+            if trial.passed and self.objective == "accuracy":
+                result.best = trial
+                return result
+
+        # operator-level fallback refinement on the best recipe so far
+        if best_trial is not None and not best_trial.passed and fallback_candidates:
+            base = best_trial.recipe
+            fallbacks: List[str] = list(base.fallback_modules)
+            for round_idx in range(max_fallback_rounds):
+                next_candidates = [c for c in fallback_candidates if c not in fallbacks]
+                if not next_candidates:
+                    break
+                fallbacks.append(next_candidates[0])
+                refined = replace(
+                    base,
+                    name=f"{base.name}+fallback{round_idx + 1}",
+                    fallback_modules=tuple(fallbacks),
+                )
+                trial = self.evaluate_recipe(model, refined, **quantize_kwargs)
+                consider(trial)
+                if trial.passed and self.objective == "accuracy":
+                    result.best = trial
+                    return result
+
+        result.best = best_trial
+        return result

@@ -1,0 +1,275 @@
+"""The post-training quantization workflow (paper Figure 2).
+
+``quantize_model`` is the top-level API: it takes a trained FP32 model, a
+:class:`~repro.quantization.qconfig.QuantizationRecipe` and calibration data,
+and returns a quantized (Q/DQ-emulated) copy of the model plus a report of
+what was quantized.  The stages map one-to-one onto the paper's flow diagram:
+
+``SmoothQuant`` (optional, NLP) → ``prepare`` (insert observers) →
+``calibrate`` (range calibration on calibration data; skipped for E5M2 direct
+and for dynamic quantization) → ``convert`` (swap in quantized operators,
+quantize weights) → ``BatchNorm calibration`` (optional, CV).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.synthetic import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quantization.bn_calibration import calibrate_batchnorm
+from repro.quantization.qconfig import Approach, QuantizationRecipe
+from repro.quantization.qmodules import QUANTIZED_MODULE_MAP, QuantizedModule, wrap_module
+from repro.quantization.smoothquant import apply_smoothquant
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "QuantizationResult",
+    "prepare_model",
+    "calibrate_model",
+    "convert_model",
+    "quantize_model",
+    "find_first_last_operators",
+    "clone_module",
+]
+
+logger = get_logger("quantization.workflow")
+
+CalibrationData = Union[ArrayDataset, Sequence[np.ndarray], None]
+PrepareFn = Callable[[np.ndarray], object]
+
+
+def clone_module(model: Module) -> Module:
+    """Deep-copy a module tree (parameters, buffers and structure)."""
+    return copy.deepcopy(model)
+
+
+def find_first_last_operators(model: Module) -> tuple:
+    """Return the names of the first Conv2d and the last Linear leaf modules.
+
+    The paper keeps these two operators of convolutional networks in higher
+    precision under the standard scheme (they are <1% of compute but are the
+    most quantization-sensitive).  Module definition order is used as a proxy
+    for execution order, which holds for every model in the zoo.
+    """
+    conv_names = [name for name, m in model.named_modules() if isinstance(m, Conv2d)]
+    linear_names = [name for name, m in model.named_modules() if isinstance(m, Linear)]
+    first_conv = conv_names[0] if conv_names else None
+    last_linear = linear_names[-1] if linear_names else None
+    return first_conv, last_linear
+
+
+@dataclass
+class QuantizationResult:
+    """Outcome of a quantization run."""
+
+    model: Module
+    recipe: QuantizationRecipe
+    quantized_modules: List[str] = field(default_factory=list)
+    skipped_modules: List[str] = field(default_factory=list)
+    smoothquant_applied: bool = False
+    batchnorm_calibrated: bool = False
+
+    @property
+    def num_quantized(self) -> int:
+        return len(self.quantized_modules)
+
+    def summary(self) -> str:
+        lines = [
+            f"recipe: {self.recipe.name}",
+            f"quantized operators: {self.num_quantized}",
+            f"fp32 fallbacks: {len(self.skipped_modules)}",
+            f"smoothquant: {self.smoothquant_applied}",
+            f"batchnorm calibration: {self.batchnorm_calibrated}",
+        ]
+        return "\n".join(lines)
+
+
+def _iter_target_modules(model: Module, recipe: QuantizationRecipe):
+    """Yield (name, type_name, module) for every leaf operator the recipe may quantize."""
+    wrapped_parents = set()
+    for name, module in model.named_modules():
+        if isinstance(module, QuantizedModule):
+            wrapped_parents.add(name)
+            continue
+        if any(name.startswith(f"{p}.") for p in wrapped_parents):
+            continue  # the float module inside an existing wrapper
+        for type_name, (module_cls, _) in QUANTIZED_MODULE_MAP.items():
+            if type(module) is module_cls:
+                yield name, type_name, module
+                break
+
+
+def prepare_model(
+    model: Module,
+    recipe: QuantizationRecipe,
+    is_convolutional: bool = False,
+) -> QuantizationResult:
+    """Insert quantization wrappers (in observation mode) according to the recipe.
+
+    The model is modified in place; use :func:`clone_module` first if the
+    original must stay untouched (``quantize_model`` does this for you).
+    """
+    fallbacks = set(recipe.fallback_modules)
+    if is_convolutional:
+        first_conv, last_linear = find_first_last_operators(model)
+        if recipe.skip_first_operator and first_conv:
+            fallbacks.add(first_conv)
+        if recipe.skip_last_operator and last_linear:
+            fallbacks.add(last_linear)
+
+    result = QuantizationResult(model=model, recipe=recipe)
+    targets = list(_iter_target_modules(model, recipe))
+    for name, type_name, module in targets:
+        if name in fallbacks:
+            result.skipped_modules.append(name)
+            continue
+        config = recipe.config_for(type_name, name)
+        if config is None:
+            result.skipped_modules.append(name)
+            continue
+        wrapper = wrap_module(type_name, module, config, name=name)
+        wrapper.start_observing()
+        model.set_submodule(name, wrapper)
+        result.quantized_modules.append(name)
+    return result
+
+
+def _iter_calibration_batches(
+    calibration_data: CalibrationData,
+    prepare_inputs: PrepareFn,
+    batch_size: int,
+    max_batches: Optional[int] = None,
+) -> Iterable[object]:
+    if calibration_data is None:
+        return
+    if isinstance(calibration_data, ArrayDataset):
+        loader = DataLoader(calibration_data, batch_size=batch_size, shuffle=False)
+        for idx, (inputs, _) in enumerate(loader):
+            if max_batches is not None and idx >= max_batches:
+                break
+            yield prepare_inputs(inputs)
+    else:
+        for idx, inputs in enumerate(calibration_data):
+            if max_batches is not None and idx >= max_batches:
+                break
+            yield prepare_inputs(inputs) if isinstance(inputs, np.ndarray) else inputs
+
+
+def calibrate_model(
+    model: Module,
+    calibration_data: CalibrationData,
+    prepare_inputs: PrepareFn = lambda x: Tensor(x),
+    batch_size: int = 32,
+    max_batches: Optional[int] = None,
+) -> int:
+    """Run calibration data through a prepared model so observers record ranges.
+
+    Returns the number of calibration batches used.
+    """
+    model.eval()
+    count = 0
+    with no_grad():
+        for batch in _iter_calibration_batches(calibration_data, prepare_inputs, batch_size, max_batches):
+            model(batch)
+            count += 1
+    return count
+
+
+def convert_model(model: Module) -> List[str]:
+    """Freeze observers and switch every wrapper into quantized mode."""
+    converted = []
+    for name, module in model.named_modules():
+        if isinstance(module, QuantizedModule):
+            module.convert()
+            converted.append(name)
+    return converted
+
+
+def quantize_model(
+    model: Module,
+    recipe: QuantizationRecipe,
+    calibration_data: CalibrationData = None,
+    prepare_inputs: PrepareFn = lambda x: Tensor(x),
+    is_convolutional: bool = False,
+    calibration_batch_size: int = 32,
+    bn_calibration_data: CalibrationData = None,
+    inplace: bool = False,
+) -> QuantizationResult:
+    """Quantize a trained FP32 model following the paper's workflow (Figure 2).
+
+    Parameters
+    ----------
+    model:
+        Trained FP32 model (left untouched unless ``inplace=True``).
+    recipe:
+        The quantization recipe (standard / extended / INT8 baseline).
+    calibration_data:
+        Calibration samples for static range calibration (an
+        :class:`~repro.data.synthetic.ArrayDataset` or a sequence of input
+        batches).  Not needed for purely dynamic or E5M2-direct recipes.
+    prepare_inputs:
+        How to turn a raw numpy batch into model inputs (matches the task).
+    is_convolutional:
+        Enables the convolution-network first/last-operator exception.
+    bn_calibration_data:
+        Data used for BatchNorm re-calibration when the recipe requests it
+        (falls back to ``calibration_data``).
+    """
+    target = model if inplace else clone_module(model)
+    target.eval()
+
+    smoothquant_applied = False
+    if recipe.smoothquant:
+        smoothquant_applied = apply_smoothquant(
+            target,
+            calibration_data,
+            prepare_inputs=prepare_inputs,
+            alpha=recipe.smoothquant_alpha,
+            batch_size=calibration_batch_size,
+        ) > 0
+
+    result = prepare_model(target, recipe, is_convolutional=is_convolutional)
+    result.smoothquant_applied = smoothquant_applied
+
+    needs_calibration = recipe.approach is Approach.STATIC and any(
+        q.config.approach is Approach.STATIC and q.config.enabled
+        for _, m in target.named_modules()
+        if isinstance(m, QuantizedModule)
+        for q in m.input_quantizers
+    )
+    if needs_calibration:
+        if calibration_data is None:
+            raise ValueError(
+                f"recipe {recipe.name!r} uses static quantization and requires calibration_data"
+            )
+        used = calibrate_model(
+            target, calibration_data, prepare_inputs=prepare_inputs, batch_size=calibration_batch_size
+        )
+        logger.debug("calibrated %s on %d batches", recipe.name, used)
+
+    for _, module in target.named_modules():
+        if isinstance(module, QuantizedModule):
+            module.stop_observing()
+    convert_model(target)
+
+    if recipe.batchnorm_calibration:
+        data = bn_calibration_data if bn_calibration_data is not None else calibration_data
+        if data is not None:
+            calibrate_batchnorm(
+                target,
+                data,
+                prepare_inputs=prepare_inputs,
+                num_samples=recipe.bn_calibration_samples,
+                transform=recipe.bn_calibration_transform,
+                batch_size=calibration_batch_size,
+            )
+            result.batchnorm_calibrated = True
+
+    return result

@@ -1,0 +1,6 @@
+"""Training substrate used to produce the "pretrained" synthetic model zoo."""
+
+from repro.training.trainer import TrainConfig, train_model, evaluate_model
+from repro.training.cache import ZooCache, default_cache
+
+__all__ = ["TrainConfig", "train_model", "evaluate_model", "ZooCache", "default_cache"]

@@ -1,0 +1,100 @@
+"""On-disk + in-process cache of trained zoo models.
+
+Training the whole zoo takes a few minutes; tests, benchmarks and examples all
+need the same FP32 baselines, so trained ``state_dict`` snapshots are stored
+under a cache directory (``REPRO_ZOO_CACHE`` env var, defaulting to
+``~/.cache/repro-zoo``) keyed by spec name and a version tag that changes when
+the training recipe changes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.logging import get_logger
+
+__all__ = ["ZooCache", "default_cache"]
+
+logger = get_logger("training.cache")
+
+_CACHE_VERSION = "v1"
+
+
+class ZooCache:
+    """Two-level (memory + disk) cache for trained models and their metrics."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get(
+                "REPRO_ZOO_CACHE", str(Path.home() / ".cache" / "repro-zoo")
+            )
+        self.cache_dir = Path(cache_dir)
+        self._memory: Dict[str, Tuple[Dict[str, np.ndarray], float]] = {}
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.{_CACHE_VERSION}.npz"
+
+    def load(self, key: str) -> Optional[Tuple[Dict[str, np.ndarray], float]]:
+        """Return (state_dict, fp32_metric) if cached, else None."""
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                metric = float(data["__metric__"])
+                state = {k: data[k] for k in data.files if k != "__metric__"}
+        except (OSError, ValueError, KeyError) as exc:  # corrupted cache entry
+            logger.warning("discarding unreadable cache entry %s (%s)", path, exc)
+            return None
+        self._memory[key] = (state, metric)
+        return state, metric
+
+    def store(self, key: str, state: Dict[str, np.ndarray], metric: float) -> None:
+        self._memory[key] = (state, metric)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            np.savez(self._path(key), __metric__=np.asarray(metric), **state)
+        except OSError as exc:  # read-only filesystem etc. — memory cache still works
+            logger.warning("could not persist cache entry %s (%s)", key, exc)
+
+    def get_or_train(
+        self,
+        key: str,
+        model: Module,
+        train_fn: Callable[[Module], float],
+    ) -> float:
+        """Load weights into ``model`` if cached; otherwise call ``train_fn`` and cache.
+
+        ``train_fn`` trains the model in place and returns its FP32 eval metric.
+        Returns the FP32 metric in either case.
+        """
+        cached = self.load(key)
+        if cached is not None:
+            state, metric = cached
+            model.load_state_dict(state)
+            model.eval()
+            return metric
+        metric = train_fn(model)
+        self.store(key, model.state_dict(), metric)
+        return metric
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+_default: Optional[ZooCache] = None
+
+
+def default_cache() -> ZooCache:
+    """Process-wide shared cache instance."""
+    global _default
+    if _default is None:
+        _default = ZooCache()
+    return _default

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, logging and small numeric helpers."""
+
+from repro.utils.seeding import set_seed, seeded_rng, temp_seed
+from repro.utils.logging import get_logger
+
+__all__ = ["set_seed", "seeded_rng", "temp_seed", "get_logger"]

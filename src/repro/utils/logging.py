@@ -1,0 +1,21 @@
+"""Minimal logging configuration used across the library."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger under the ``repro`` namespace."""
+    logger = logging.getLogger(name if name.startswith("repro") else f"repro.{name}")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger

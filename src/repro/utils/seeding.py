@@ -1,0 +1,47 @@
+"""Deterministic seeding helpers.
+
+Every stochastic component of the library (data generation, weight
+initialisation, training, calibration sampling) accepts either a seed or a
+:class:`numpy.random.Generator`; these helpers centralise how seeds become
+generators so results are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = ["set_seed", "seeded_rng", "temp_seed", "RngLike"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+_DEFAULT_SEED = 0
+
+
+def set_seed(seed: int) -> None:
+    """Seed Python's and numpy's global RNGs (legacy API compatibility)."""
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+
+
+def seeded_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+@contextlib.contextmanager
+def temp_seed(seed: int) -> Iterator[None]:
+    """Temporarily seed the global numpy RNG inside a ``with`` block."""
+    state = np.random.get_state()
+    np.random.seed(seed % (2**32 - 1))
+    try:
+        yield
+    finally:
+        np.random.set_state(state)

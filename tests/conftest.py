@@ -1,0 +1,36 @@
+"""Shared pytest fixtures.
+
+Zoo models are trained on first use and cached (in memory and on disk), so the
+fixtures here are session-scoped: the first test that needs e.g. the BERT-style
+bundle pays the ~3s training cost and every other test reuses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_task
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def bert_bundle():
+    """A small trained NLP task bundle (with injected activation outliers)."""
+    return build_task("distilbert-mrpc")
+
+
+@pytest.fixture(scope="session")
+def cnn_bundle():
+    """A small trained CV task bundle with BatchNorm."""
+    return build_task("resnet18-imagenet")
+
+
+@pytest.fixture(scope="session")
+def lm_bundle():
+    """A trained causal-LM task bundle."""
+    return build_task("dialogpt-wikitext")

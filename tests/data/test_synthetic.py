@@ -1,0 +1,144 @@
+"""Tests for the synthetic datasets, data loader and augmentation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    InferenceTransform,
+    TrainingTransform,
+    get_transform,
+    make_classification_images,
+    make_language_modeling,
+    make_segmentation,
+    make_sequence_regression,
+    make_tabular_ctr,
+    make_token_classification,
+)
+
+
+class TestArrayDatasetAndLoader:
+    def test_len_and_getitem(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x[0] == 3 and y == 3
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(20).reshape(20, 1), np.arange(20))
+        sub = ds.subset(5, rng=0)
+        assert len(sub) == 5
+
+    def test_subset_larger_than_dataset(self):
+        ds = ArrayDataset(np.arange(4).reshape(4, 1), np.arange(4))
+        assert len(ds.subset(100, rng=0)) == 4
+
+    def test_loader_batches_cover_dataset(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        loader = DataLoader(ds, batch_size=3)
+        seen = np.concatenate([y for _, y in loader])
+        assert len(loader) == 4
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_loader_shuffle_deterministic_with_seed(self):
+        ds = ArrayDataset(np.arange(16).reshape(16, 1), np.arange(16))
+        order1 = np.concatenate([y for _, y in DataLoader(ds, 4, shuffle=True, rng=7)])
+        order2 = np.concatenate([y for _, y in DataLoader(ds, 4, shuffle=True, rng=7)])
+        assert np.array_equal(order1, order2)
+
+    def test_loader_applies_transform(self):
+        ds = ArrayDataset(np.ones((8, 3, 4, 4), dtype=np.float32), np.zeros(8))
+        loader = DataLoader(ds, 4, transform=lambda x, rng: x * 2)
+        batch, _ = next(iter(loader))
+        assert np.allclose(batch, 2.0)
+
+
+class TestGenerators:
+    def test_image_classification_shapes(self):
+        ds = make_classification_images(n_samples=64, image_size=8, channels=3, n_classes=4, rng=0)
+        assert ds.inputs.shape == (64, 3, 8, 8)
+        assert ds.targets.shape == (64,)
+        assert set(np.unique(ds.targets)) <= set(range(4))
+
+    def test_image_classification_deterministic(self):
+        a = make_classification_images(n_samples=16, rng=3)
+        b = make_classification_images(n_samples=16, rng=3)
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_noise_controls_difficulty(self):
+        clean = make_classification_images(n_samples=64, noise=0.1, rng=0)
+        noisy = make_classification_images(n_samples=64, noise=3.0, rng=0)
+        assert noisy.inputs.std() > clean.inputs.std()
+
+    def test_token_classification_vocab_bounds(self):
+        ds = make_token_classification(n_samples=32, seq_len=12, vocab_size=30, rng=1)
+        assert ds.inputs.min() >= 0 and ds.inputs.max() < 30
+        assert ds.inputs.dtype == np.int64
+
+    def test_language_modeling_targets_are_shifted_inputs(self):
+        ds = make_language_modeling(n_samples=8, seq_len=16, vocab_size=20, rng=2)
+        assert ds.inputs.shape == (8, 16)
+        assert np.array_equal(ds.inputs[:, 1:], ds.targets[:, :-1])
+
+    def test_language_modeling_transitions_follow_grammar(self):
+        ds = make_language_modeling(n_samples=32, seq_len=24, vocab_size=16, rng=4)
+        probs = ds.extras["transition_probs"][0]
+        observed = probs[ds.inputs[:, :-1].reshape(-1), ds.inputs[:, 1:].reshape(-1)]
+        assert np.all(observed > 0)  # only legal transitions are generated
+
+    def test_tabular_ctr_packing(self):
+        ds = make_tabular_ctr(n_samples=64, n_dense=5, n_sparse=3, vocab_size=11, rng=5)
+        assert ds.inputs.shape == (64, 8)
+        sparse_part = ds.inputs[:, 5:]
+        assert sparse_part.min() >= 0 and sparse_part.max() < 11
+        assert set(np.unique(ds.targets)) <= {0.0, 1.0}
+
+    def test_segmentation_masks_binary(self):
+        ds = make_segmentation(n_samples=8, image_size=16, rng=6)
+        assert ds.targets.shape == (8, 16, 16)
+        assert set(np.unique(ds.targets)) <= {0, 1}
+
+    def test_sequence_regression_shapes(self):
+        ds = make_sequence_regression(n_samples=16, seq_len=10, n_features=6, n_classes=3, rng=7)
+        assert ds.inputs.shape == (16, 10, 6)
+        assert set(np.unique(ds.targets)) <= set(range(3))
+
+    @given(st.integers(2, 6), st.integers(8, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_token_classification_all_classes_possible(self, n_classes, seq_len):
+        ds = make_token_classification(
+            n_samples=64, seq_len=seq_len, n_classes=n_classes, rng=n_classes
+        )
+        assert ds.targets.max() < n_classes
+
+
+class TestAugmentation:
+    def test_training_transform_preserves_shape(self):
+        images = np.random.default_rng(0).standard_normal((4, 3, 8, 8)).astype(np.float32)
+        out = TrainingTransform()(images, np.random.default_rng(1))
+        assert out.shape == images.shape
+        assert out.dtype == np.float32
+
+    def test_training_transform_changes_images(self):
+        images = np.random.default_rng(0).standard_normal((4, 3, 8, 8)).astype(np.float32)
+        out = TrainingTransform()(images, np.random.default_rng(1))
+        assert not np.allclose(out, images)
+
+    def test_training_transform_does_not_mutate_input(self):
+        images = np.ones((2, 1, 4, 4), dtype=np.float32)
+        before = images.copy()
+        TrainingTransform()(images, np.random.default_rng(0))
+        assert np.array_equal(images, before)
+
+    def test_inference_transform_is_identity(self):
+        images = np.random.default_rng(0).standard_normal((2, 3, 4, 4)).astype(np.float32)
+        assert np.array_equal(InferenceTransform()(images, np.random.default_rng(0)), images)
+
+    def test_get_transform(self):
+        assert isinstance(get_transform("training"), TrainingTransform)
+        assert isinstance(get_transform("inference"), InferenceTransform)
+        with pytest.raises(ValueError):
+            get_transform("nope")

@@ -1,0 +1,184 @@
+"""Tests for the evaluation harness, FID proxy, text-generation metrics and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    EvaluationRecord,
+    PassRateReport,
+    distinct_n,
+    evaluate_generation_quality,
+    evaluate_recipe_on_task,
+    fid_proxy,
+    format_pass_rate_table,
+    format_records,
+    format_table,
+    frechet_distance,
+    paper_configurations,
+    repetition_rate,
+)
+from repro.evaluation.fid import FeatureStatistics, RandomFeatureExtractor
+from repro.evaluation.textgen import grammar_log_likelihood
+from repro.quantization import Approach, standard_recipe
+
+
+def _record(config="E4M3-static", domain="nlp", passed=True, loss=0.001, size="small"):
+    return EvaluationRecord(
+        task="t",
+        domain=domain,
+        size_class=size,
+        config=config,
+        fmt="E4M3",
+        approach="Static",
+        fp32_metric=0.9,
+        quantized_metric=0.9 * (1 - loss),
+        relative_loss=loss,
+        passed=passed,
+        num_quantized_ops=5,
+    )
+
+
+class TestPassRateReport:
+    def test_pass_rate_by_domain(self):
+        report = PassRateReport()
+        report.add(_record(domain="nlp", passed=True))
+        report.add(_record(domain="nlp", passed=False))
+        report.add(_record(domain="cv", passed=True))
+        assert report.pass_rate("E4M3-static", "nlp") == pytest.approx(0.5)
+        assert report.pass_rate("E4M3-static", "cv") == pytest.approx(1.0)
+        assert report.pass_rate("E4M3-static") == pytest.approx(2 / 3)
+
+    def test_pass_rate_unknown_config_is_nan(self):
+        assert np.isnan(PassRateReport().pass_rate("nope"))
+
+    def test_loss_statistics(self):
+        report = PassRateReport()
+        for loss in (0.0, 0.01, 0.02):
+            report.add(_record(loss=loss))
+        stats = report.loss_statistics("E4M3-static")
+        assert stats["median"] == pytest.approx(0.01)
+        assert stats["max"] == pytest.approx(0.02)
+
+    def test_by_size_class(self):
+        report = PassRateReport()
+        report.add(_record(size="tiny", loss=0.01))
+        report.add(_record(size="large", loss=0.05))
+        sizes = report.by_size_class("E4M3-static")
+        assert sizes["large"]["mean_loss"] > sizes["tiny"]["mean_loss"]
+
+    def test_summary_rows_order_preserved(self):
+        report = PassRateReport()
+        report.add(_record(config="A"))
+        report.add(_record(config="B"))
+        rows = report.summary_rows()
+        assert [r["config"] for r in rows] == ["A", "B"]
+
+
+class TestPaperConfigurations:
+    def test_six_configurations(self):
+        configs = paper_configurations()
+        assert len(configs) == 6
+        assert {c.fmt for c in configs} == {"E5M2", "E4M3", "E3M4", "INT8"}
+
+    def test_int8_uses_static_cv_dynamic_nlp(self):
+        int8 = next(c for c in paper_configurations() if c.fmt == "INT8")
+        assert int8.cv_recipe.approach is Approach.STATIC
+        assert int8.nlp_recipe.approach is Approach.DYNAMIC
+
+    def test_nlp_recipes_enable_smoothquant(self):
+        configs = paper_configurations(smoothquant_nlp=True)
+        assert all(c.nlp_recipe.smoothquant for c in configs)
+        configs = paper_configurations(smoothquant_nlp=False)
+        assert not any(c.nlp_recipe.smoothquant for c in configs)
+
+    def test_recipe_for_domain(self):
+        config = paper_configurations()[0]
+        assert config.recipe_for("cv") is config.cv_recipe
+        assert config.recipe_for("nlp") is config.nlp_recipe
+
+
+class TestEvaluateRecipeOnTask:
+    def test_record_fields(self, bert_bundle):
+        record = evaluate_recipe_on_task(bert_bundle, standard_recipe("E4M3"), config_name="unit")
+        assert record.task == bert_bundle.spec.name
+        assert record.config == "unit"
+        assert 0.0 <= record.quantized_metric <= 1.0
+        assert record.num_quantized_ops > 0
+        assert isinstance(record.as_dict(), dict)
+
+    def test_fp8_quantization_stays_close_to_fp32(self, bert_bundle):
+        record = evaluate_recipe_on_task(bert_bundle, standard_recipe("E4M3"))
+        assert abs(record.relative_loss) < 0.05
+
+
+class TestFID:
+    def test_identical_sets_have_near_zero_fid(self):
+        images = np.random.default_rng(0).standard_normal((48, 3, 16, 16)).astype(np.float32)
+        assert abs(fid_proxy(images, images)) < 1e-3
+
+    def test_fid_increases_with_distortion(self):
+        rng = np.random.default_rng(1)
+        ref = rng.standard_normal((48, 3, 16, 16)).astype(np.float32)
+        slight = ref + 0.1 * rng.standard_normal(ref.shape).astype(np.float32)
+        heavy = ref + 2.0 * rng.standard_normal(ref.shape).astype(np.float32)
+        assert fid_proxy(ref, slight) < fid_proxy(ref, heavy)
+
+    def test_frechet_distance_symmetric_in_identical_stats(self):
+        feats = np.random.default_rng(2).standard_normal((100, 8))
+        stats = FeatureStatistics.from_features(feats)
+        assert frechet_distance(stats, stats) == pytest.approx(0.0, abs=1e-3)
+
+    def test_extractor_output_shape(self):
+        extractor = RandomFeatureExtractor(feature_dim=32)
+        feats = extractor(np.zeros((4, 3, 16, 16), dtype=np.float32))
+        assert feats.shape == (4, 32)
+
+
+class TestTextGenMetrics:
+    def test_repetition_rate_of_loop(self):
+        looping = [1, 2, 3] * 10
+        varied = list(range(30))
+        assert repetition_rate(looping) > repetition_rate(varied)
+
+    def test_repetition_rate_short_sequence(self):
+        assert repetition_rate([1, 2]) == 0.0
+
+    def test_distinct_n(self):
+        assert distinct_n([1, 2, 3, 4]) == 1.0
+        assert distinct_n([1, 1, 1, 1]) < 1.0
+
+    def test_grammar_log_likelihood_prefers_legal_transitions(self):
+        probs = np.array([[0.9, 0.1], [0.1, 0.9]])
+        legal = [0, 0, 0, 0]
+        illegal = [0, 1, 0, 1]
+        assert grammar_log_likelihood(legal, probs) > grammar_log_likelihood(illegal, probs)
+
+    def test_evaluate_generation_quality(self, lm_bundle):
+        prompts = lm_bundle.eval_data.inputs[:2, :8]
+        probs = lm_bundle.eval_data.extras if lm_bundle.eval_data.extras else None
+        quality = evaluate_generation_quality(
+            lm_bundle.model, prompts, transition_probs=None, max_new_tokens=8, beam_size=1
+        )
+        assert 0.0 <= quality.repetition <= 1.0
+        assert 0.0 < quality.distinct2 <= 1.0
+        assert quality.num_prompts == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")
+        assert text.startswith("T")
+        assert "a" in text and "yy" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_pass_rate_table(self):
+        report = PassRateReport()
+        report.add(_record())
+        text = format_pass_rate_table(report)
+        assert "Pass Rate (NLP)" in text and "%" in text
+
+    def test_format_records(self):
+        text = format_records([_record()])
+        assert "rel loss %" in text

@@ -1,0 +1,60 @@
+"""Tests for the Appendix A.1 density analysis."""
+
+import numpy as np
+import pytest
+
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.density import density_at, format_density, int8_density, representable_count_in_range
+
+
+class TestAnalyticDensity:
+    def test_density_halves_per_binade(self):
+        """Eq. 4: density drops by 2x when the magnitude doubles."""
+        d1 = density_at(E4M3, 1.0)
+        d2 = density_at(E4M3, 2.0)
+        assert float(d1) == pytest.approx(2 * float(d2))
+
+    def test_more_mantissa_bits_means_denser(self):
+        value = 1.0
+        assert float(density_at(E3M4, value)) > float(density_at(E4M3, value)) > float(
+            density_at(E5M2, value)
+        )
+
+    def test_density_formula_matches_eq4(self):
+        # at N in [2^n, 2^(n+1)) density is 2^(m-n)
+        assert float(density_at(E4M3, 5.0)) == pytest.approx(2.0 ** (3 - 2))
+
+    def test_vectorised(self):
+        out = density_at(E3M4, np.array([0.5, 1.0, 4.0]))
+        assert out.shape == (3,)
+
+    def test_empirical_density_matches_analytic_in_normal_range(self):
+        grid = np.array([0.3, 0.7, 1.5, 3.0, 6.0])
+        empirical = format_density(E3M4, grid)
+        analytic = density_at(E3M4, grid)
+        assert np.allclose(empirical, analytic, rtol=0.6)
+
+
+class TestCounts:
+    def test_count_in_symmetric_range(self):
+        n = representable_count_in_range(E4M3, -1.0, 1.0)
+        assert n > 100  # FP8 concentrates most of its values near zero
+
+    def test_count_full_range_equals_table_size(self):
+        assert representable_count_in_range(E4M3, -448.0, 448.0) == E4M3.num_finite_values
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            representable_count_in_range(E4M3, 1.0, -1.0)
+
+    def test_fp8_denser_than_int8_near_zero_sparser_near_max(self):
+        """The paper's core argument: FP8 trades tail resolution for near-zero resolution."""
+        absmax = 6.0
+        int8_d = int8_density(absmax)
+        near_zero = representable_count_in_range(E4M3, -0.1 * absmax, 0.1 * absmax)
+        int8_near_zero = int(int8_d * 0.2 * absmax)
+        assert near_zero > int8_near_zero
+
+    def test_int8_density_validates_input(self):
+        with pytest.raises(ValueError):
+            int8_density(0.0)

@@ -1,0 +1,171 @@
+"""Tests for the FP8 binary format specifications (paper Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp8 import E3M4, E4M3, E5M2, E2M5, FORMAT_REGISTRY, get_format
+from repro.fp8.formats import FP8Format
+
+
+class TestTable1Properties:
+    """The Table 1 rows must be reproduced exactly."""
+
+    def test_e5m2_bias(self):
+        assert E5M2.bias == 15
+
+    def test_e4m3_bias(self):
+        assert E4M3.bias == 7
+
+    def test_e3m4_bias(self):
+        assert E3M4.bias == 3
+
+    def test_e5m2_max_value(self):
+        assert E5M2.max_value == 57344.0
+
+    def test_e4m3_max_value(self):
+        assert E4M3.max_value == 448.0
+
+    def test_e3m4_max_value(self):
+        assert E3M4.max_value == 30.0
+
+    def test_e5m2_min_value(self):
+        assert E5M2.min_value == pytest.approx(1.5e-5, rel=0.05)
+
+    def test_e4m3_min_value(self):
+        assert E4M3.min_value == pytest.approx(1.9e-3, rel=0.05)
+
+    def test_e3m4_min_value(self):
+        assert E3M4.min_value == pytest.approx(1.5e-2, rel=0.05)
+
+    def test_e5m2_has_infinity(self):
+        assert E5M2.has_infinity
+
+    def test_extended_formats_have_no_infinity(self):
+        assert not E4M3.has_infinity
+        assert not E3M4.has_infinity
+
+    def test_nan_encoding_classes(self):
+        assert E5M2.nan_encoding == "all"
+        assert E4M3.nan_encoding == "single"
+        assert E3M4.nan_encoding == "single"
+
+    def test_e5m2_many_nan_codes(self):
+        assert E5M2.num_nan_codes == 3  # exponent all-ones with nonzero mantissa
+
+    def test_extended_single_nan_code(self):
+        assert E4M3.num_nan_codes == 1
+        assert E3M4.num_nan_codes == 1
+
+    def test_describe_contains_table1_fields(self):
+        row = E4M3.describe()
+        for key in ("exponent_bias", "max_value", "min_value", "nans", "infinity"):
+            assert key in row
+
+
+class TestValueTables:
+    def test_bit_budget_must_sum_to_seven(self):
+        with pytest.raises(ValueError):
+            FP8Format(name="bad", exponent_bits=4, mantissa_bits=4, bias=7, ieee_like=False)
+
+    def test_minimum_exponent_bits(self):
+        with pytest.raises(ValueError):
+            FP8Format(name="bad", exponent_bits=1, mantissa_bits=6, bias=0, ieee_like=False)
+
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4, E2M5])
+    def test_positive_values_sorted_unique_nonnegative(self, fmt):
+        values = fmt.positive_values
+        assert np.all(np.diff(values) > 0)
+        assert values[0] == 0.0
+        assert values[-1] == fmt.max_value
+
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4])
+    def test_all_values_symmetric(self, fmt):
+        values = fmt.all_values
+        nonzero = values[values != 0]
+        positives = np.sort(nonzero[nonzero > 0])
+        negatives = np.sort(-nonzero[nonzero < 0])
+        # every positive value has a negative counterpart and vice versa
+        assert positives.size == negatives.size
+        assert np.allclose(positives, negatives)
+
+    def test_e4m3_value_count(self):
+        # 256 codes - 2 NaN - 1 duplicated zero (+0/-0 collapse) = 253 finite values
+        assert E4M3.num_finite_values == 253
+
+    def test_e3m4_value_count(self):
+        assert E3M4.num_finite_values == 253
+
+    def test_e5m2_value_count(self):
+        # 256 codes - 2*(3 NaN + 1 Inf) - 1 duplicated zero = 247
+        assert E5M2.num_finite_values == 247
+
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4])
+    def test_subnormal_spacing_is_uniform(self, fmt):
+        values = fmt.positive_values
+        subnormals = values[values < fmt.min_normal]
+        spacing = np.diff(subnormals)
+        assert np.allclose(spacing, fmt.min_subnormal)
+
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4])
+    def test_min_normal_follows_bias(self, fmt):
+        assert fmt.min_normal == 2.0 ** (1 - fmt.bias)
+
+    def test_is_representable(self):
+        assert E4M3.is_representable(448.0)
+        assert E4M3.is_representable(-0.25)
+        assert not E4M3.is_representable(447.0)
+        assert not E4M3.is_representable(np.inf)
+        assert E5M2.is_representable(np.inf)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4])
+    def test_roundtrip_on_grid(self, fmt):
+        values = fmt.all_values
+        codes = fmt.encode(values)
+        decoded = fmt.decode(codes)
+        assert np.allclose(decoded, values)
+
+    @pytest.mark.parametrize("fmt", [E5M2, E4M3, E3M4])
+    def test_codes_are_uint8(self, fmt):
+        codes = fmt.encode(np.array([0.5, -1.25, 3.0]))
+        assert codes.dtype == np.uint8
+
+    def test_nan_encodes_to_nan(self):
+        codes = E4M3.encode(np.array([np.nan, 1.0]))
+        decoded = E4M3.decode(codes)
+        assert np.isnan(decoded[0])
+        assert not np.isnan(decoded[1])
+
+    def test_negative_sign_bit(self):
+        codes = E4M3.encode(np.array([1.0, -1.0]))
+        assert codes[1] & 0x80
+        assert not (codes[0] & 0x80)
+
+    def test_saturation_on_encode(self):
+        decoded = E4M3.decode(E4M3.encode(np.array([1e6, -1e6])))
+        assert decoded[0] == pytest.approx(E4M3.max_value)
+        assert decoded[1] == pytest.approx(-E4M3.max_value)
+
+    @given(st.floats(min_value=-400.0, max_value=400.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_is_nearest_value(self, x):
+        decoded = float(E4M3.decode(E4M3.encode(np.array([x])))[0])
+        table = E4M3.all_values
+        nearest = table[np.argmin(np.abs(table - x))]
+        # decoded must be at least as close as the nearest table entry (ties allowed)
+        assert abs(decoded - x) <= abs(nearest - x) + 1e-9
+
+
+class TestRegistry:
+    def test_registry_contains_paper_formats(self):
+        assert {"E5M2", "E4M3", "E3M4"} <= set(FORMAT_REGISTRY)
+
+    def test_get_format_case_insensitive(self):
+        assert get_format("e4m3") is E4M3
+
+    def test_get_format_unknown(self):
+        with pytest.raises(KeyError):
+            get_format("E7M0")

@@ -1,0 +1,103 @@
+"""Tests for the INT8 baseline quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp8.int8 import (
+    INT8_ASYMMETRIC,
+    INT8_SYMMETRIC,
+    int8_compute_qparams,
+    int8_dequantize,
+    int8_quantize,
+    int8_quantize_dequantize,
+)
+
+
+class TestSpecs:
+    def test_symmetric_range(self):
+        assert INT8_SYMMETRIC.qmin == -127
+        assert INT8_SYMMETRIC.qmax == 127
+
+    def test_asymmetric_range(self):
+        assert INT8_ASYMMETRIC.qmin == -128
+        assert INT8_ASYMMETRIC.qmax == 127
+
+    def test_describe(self):
+        d = INT8_SYMMETRIC.describe()
+        assert d["bits"] == 8 and d["symmetric"] is True
+
+
+class TestQParams:
+    def test_symmetric_zero_point_is_zero(self):
+        _, zp = int8_compute_qparams(np.array([-3.0, 5.0]), INT8_SYMMETRIC)
+        assert np.all(zp == 0)
+
+    def test_symmetric_scale_from_absmax(self):
+        scale, _ = int8_compute_qparams(np.array([-3.0, 5.0]), INT8_SYMMETRIC)
+        assert float(scale) == pytest.approx(5.0 / 127)
+
+    def test_asymmetric_covers_range(self):
+        x = np.array([0.5, 4.0])
+        scale, zp = int8_compute_qparams(x, INT8_ASYMMETRIC)
+        deq = int8_dequantize(int8_quantize(x, scale, zp, INT8_ASYMMETRIC), scale, zp)
+        assert np.all(np.abs(deq - x) <= scale + 1e-6)
+
+    def test_per_channel_shapes(self):
+        x = np.random.default_rng(0).normal(size=(6, 4))
+        scale, zp = int8_compute_qparams(x, INT8_SYMMETRIC, axis=0)
+        assert scale.shape == (6, 1)
+        assert zp.shape == (6, 1)
+
+    def test_zero_input_gives_finite_scale(self):
+        scale, _ = int8_compute_qparams(np.zeros(4), INT8_SYMMETRIC)
+        assert np.isfinite(scale).all() and float(scale) > 0
+
+
+class TestRoundTrip:
+    def test_codes_within_range(self):
+        x = np.random.default_rng(1).normal(size=100) * 10
+        scale, zp = int8_compute_qparams(x, INT8_SYMMETRIC)
+        q = int8_quantize(x, scale, zp, INT8_SYMMETRIC)
+        assert q.min() >= -127 and q.max() <= 127
+
+    def test_uniform_error_bound(self):
+        x = np.random.default_rng(2).uniform(-4, 4, 5000)
+        deq = int8_quantize_dequantize(x)
+        scale = 4.0 / 127
+        assert np.max(np.abs(deq - x)) <= scale / 2 + 1e-6
+
+    def test_outliers_stretch_the_grid(self):
+        """The INT8 failure mode the paper highlights: one outlier inflates everyone's error."""
+        rng = np.random.default_rng(3)
+        base = rng.normal(0, 0.5, 5000)
+        with_outlier = base.copy()
+        with_outlier[0] = 50.0
+        err_base = np.mean((int8_quantize_dequantize(base) - base) ** 2)
+        q = int8_quantize_dequantize(with_outlier)
+        err_outlier = np.mean((q[1:] - with_outlier[1:]) ** 2)
+        assert err_outlier > 50 * err_base
+
+    def test_per_channel_beats_per_tensor_for_mismatched_channels(self):
+        rng = np.random.default_rng(4)
+        x = np.stack([rng.normal(0, 0.01, 256), rng.normal(0, 10.0, 256)])
+        per_tensor = int8_quantize_dequantize(x)
+        per_channel = int8_quantize_dequantize(x, axis=0)
+        err_t = np.mean((per_tensor[0] - x[0]) ** 2)
+        err_c = np.mean((per_channel[0] - x[0]) ** 2)
+        assert err_c < err_t
+
+    @given(st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, values):
+        x = np.asarray(values)
+        scale, zp = int8_compute_qparams(x, INT8_SYMMETRIC)
+        once = int8_quantize_dequantize(x, scale=scale, zero_point=zp)
+        twice = int8_quantize_dequantize(once, scale=scale, zero_point=zp)
+        assert np.allclose(once, twice, atol=1e-6)
+
+    def test_asymmetric_preserves_exact_zero(self):
+        x = np.array([0.0, 1.0, 7.3])
+        deq = int8_quantize_dequantize(x, spec=INT8_ASYMMETRIC)
+        assert deq[0] == pytest.approx(0.0, abs=1e-6)

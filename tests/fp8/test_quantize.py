@@ -1,0 +1,185 @@
+"""Tests for FP8 rounding, scaling and the Q/DQ primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.quantize import (
+    QuantizedTensor,
+    compute_scale,
+    fp8_round,
+    quantize_dequantize,
+    quantize_to_fp8,
+)
+
+FORMATS = [E5M2, E4M3, E3M4]
+
+
+class TestFp8Round:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_values_on_grid_are_unchanged(self, fmt):
+        values = fmt.all_values
+        assert np.allclose(fp8_round(values, fmt), values)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_output_lies_on_grid(self, fmt):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1.0, 1000)
+        rounded = fp8_round(x, fmt)
+        grid = set(np.round(fmt.all_values, 10).tolist())
+        assert all(np.round(float(v), 10) in grid for v in rounded)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_saturation(self, fmt):
+        out = fp8_round(np.array([fmt.max_value * 10, -fmt.max_value * 10]), fmt)
+        assert out[0] == pytest.approx(fmt.max_value)
+        assert out[1] == pytest.approx(-fmt.max_value)
+
+    def test_infinity_saturates(self):
+        out = fp8_round(np.array([np.inf, -np.inf]), E4M3)
+        assert out[0] == pytest.approx(E4M3.max_value)
+        assert out[1] == pytest.approx(-E4M3.max_value)
+
+    def test_nan_propagates(self):
+        out = fp8_round(np.array([np.nan, 1.0]), E4M3)
+        assert np.isnan(out[0]) and not np.isnan(out[1])
+
+    def test_round_to_nearest(self):
+        # 1.0 and 1.125 are consecutive E4M3 values; 1.05 is closer to 1.0
+        assert fp8_round(np.array([1.05]), E4M3)[0] == pytest.approx(1.0)
+        assert fp8_round(np.array([1.10]), E4M3)[0] == pytest.approx(1.125)
+
+    def test_ties_to_even_mantissa(self):
+        # exactly halfway between 1.0 (mantissa 000) and 1.125 (mantissa 001):
+        # ties go to the even mantissa, i.e. 1.0
+        assert fp8_round(np.array([1.0625]), E4M3)[0] == pytest.approx(1.0)
+        # halfway between 1.125 (001) and 1.25 (010) -> goes up to even 1.25
+        assert fp8_round(np.array([1.1875]), E4M3)[0] == pytest.approx(1.25)
+
+    def test_shape_and_dtype_preserved(self):
+        x = np.zeros((3, 4, 5))
+        out = fp8_round(x, E3M4)
+        assert out.shape == x.shape
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_error_bounded_by_half_ulp(self, fmt):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-fmt.max_value, fmt.max_value, 2000)
+        rounded = fp8_round(x, fmt)
+        # error must be at most half the local grid spacing
+        grid = fmt.positive_values
+        idx = np.clip(np.searchsorted(grid, np.abs(x)), 1, grid.size - 1)
+        local_ulp = grid[idx] - grid[idx - 1]
+        assert np.all(np.abs(rounded - x) <= local_ulp / 2 + 1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(max_dims=3, max_side=8),
+            elements=st.floats(-1e4, 1e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, x):
+        once = fp8_round(x, E4M3)
+        twice = fp8_round(once, E4M3)
+        assert np.array_equal(once, twice)
+
+    @given(st.floats(min_value=0.0, max_value=400.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_sign_symmetry(self, x):
+        assert fp8_round(np.array([-x]), E4M3)[0] == pytest.approx(-fp8_round(np.array([x]), E4M3)[0])
+
+    @given(st.floats(min_value=-25.0, max_value=25.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_monotonicity_samples(self, x):
+        a = float(fp8_round(np.array([x]), E3M4)[0])
+        b = float(fp8_round(np.array([x + 0.37]), E3M4)[0])
+        assert b >= a
+
+
+class TestScaling:
+    def test_per_tensor_scale_maps_absmax_to_fmt_max(self):
+        x = np.array([0.1, -2.0, 1.5])
+        scale = compute_scale(x, E4M3)
+        assert float(np.max(np.abs(x * scale))) == pytest.approx(E4M3.max_value)
+
+    def test_per_channel_scale_shape(self):
+        x = np.random.default_rng(0).normal(size=(8, 4, 3, 3))
+        scale = compute_scale(x, E4M3, axis=0)
+        assert scale.shape == (8, 1, 1, 1)
+
+    def test_per_channel_each_channel_maps_to_max(self):
+        x = np.random.default_rng(0).normal(size=(4, 16))
+        scale = compute_scale(x, E3M4, axis=0)
+        scaled = np.abs(x * scale)
+        assert np.allclose(scaled.max(axis=1), E3M4.max_value)
+
+    def test_zero_tensor_does_not_divide_by_zero(self):
+        scale = compute_scale(np.zeros(10), E4M3)
+        assert np.isfinite(scale).all()
+
+    def test_precomputed_absmax(self):
+        scale = compute_scale(np.zeros(3), E4M3, absmax=np.asarray(2.0))
+        assert float(scale) == pytest.approx(E4M3.max_value / 2.0)
+
+
+class TestQuantizeDequantize:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_error_decreases_with_mantissa_bits_on_gaussian(self, fmt):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 0.5, 20000)
+        errors = {
+            f.name: float(np.mean((quantize_dequantize(x, f) - x) ** 2)) for f in FORMATS
+        }
+        assert errors["E3M4"] < errors["E4M3"] < errors["E5M2"]
+
+    def test_scaled_better_than_direct_for_small_values(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 0.01, 5000)
+        direct = quantize_dequantize(x, E4M3, scale=np.asarray(1.0))
+        scaled = quantize_dequantize(x, E4M3)
+        assert np.mean((scaled - x) ** 2) < np.mean((direct - x) ** 2)
+
+    def test_quantize_to_fp8_returns_scaled_grid_values(self):
+        x = np.array([0.5, -0.25])
+        scale = compute_scale(x, E4M3)
+        q = quantize_to_fp8(x, E4M3, scale=scale)
+        assert np.all(np.abs(q) <= E4M3.max_value)
+
+    def test_roundtrip_preserves_shape(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 4))
+        assert quantize_dequantize(x, E3M4).shape == (2, 3, 4)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_relative_error_bound_with_max_scaling(self, x):
+        """With max scaling the elementwise error is bounded by ~half ULP of the scaled value."""
+        q = quantize_dequantize(x, E4M3)
+        absmax = np.max(np.abs(x))
+        if absmax == 0:
+            assert np.allclose(q, 0)
+        else:
+            # max relative step of E4M3 is 2^-3 = 12.5%; allow half of that plus slack
+            assert np.all(np.abs(q - x) <= np.maximum(np.abs(x) * 0.0625, absmax / 448 * 0.51) + 1e-9)
+
+    def test_quantized_tensor_roundtrip(self):
+        x = np.random.default_rng(3).normal(size=(5, 7))
+        qt = QuantizedTensor.quantize(x, E3M4, axis=0)
+        assert qt.shape == x.shape
+        deq = qt.dequantize()
+        assert np.mean((deq - x) ** 2) < 1e-3
+
+    def test_quantized_tensor_repr(self):
+        qt = QuantizedTensor.quantize(np.ones((2, 2)), E4M3)
+        assert "E4M3" in repr(qt)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests: the paper's qualitative findings at miniature scale.
+
+These tests exercise the whole stack (zoo training -> quantization workflow ->
+evaluation) and assert the *directional* results the paper reports, not exact
+numbers: FP8 keeps models within the accuracy target, E5M2 is the weakest FP8
+format, INT8 struggles with outlier-heavy NLP activations, and SmoothQuant /
+mixed formats / BatchNorm calibration recover accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_recipe_on_task
+from repro.fp8 import E3M4, E4M3, E5M2
+from repro.fp8.int8 import int8_quantize_dequantize
+from repro.fp8.quantize import quantize_dequantize
+from repro.models.registry import build_task
+from repro.quantization import (
+    Approach,
+    extended_recipe,
+    int8_recipe,
+    quantize_model,
+    relative_accuracy_loss,
+    standard_recipe,
+)
+
+
+class TestFigure1MSE:
+    """Quantization error on the outlier-contaminated Gaussian from Figure 1."""
+
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, np.sqrt(0.5), 100_000)
+        n_outliers = len(x) // 100
+        x[:n_outliers] = rng.uniform(-6.0, 6.0, n_outliers)
+        return x
+
+    def test_e3m4_beats_int8(self, tensor):
+        e3m4 = np.mean((quantize_dequantize(tensor, E3M4) - tensor) ** 2)
+        int8 = np.mean((int8_quantize_dequantize(tensor) - tensor) ** 2)
+        assert e3m4 < int8
+
+    def test_e5m2_is_worst_fp8(self, tensor):
+        errors = {
+            fmt.name: float(np.mean((quantize_dequantize(tensor, fmt) - tensor) ** 2))
+            for fmt in (E5M2, E4M3, E3M4)
+        }
+        assert errors["E5M2"] == max(errors.values())
+
+
+class TestNLPTask:
+    def test_fp8_meets_accuracy_target_on_nlp(self, bert_bundle):
+        for fmt in ("E4M3", "E3M4"):
+            record = evaluate_recipe_on_task(bert_bundle, standard_recipe(fmt))
+            assert record.relative_loss < 0.02, fmt
+
+    def test_outlier_lm_int8_degrades_more_than_e4m3(self):
+        bundle = build_task("bloom-176b-lambada")
+        e4m3 = evaluate_recipe_on_task(bundle, standard_recipe("E4M3"))
+        int8 = evaluate_recipe_on_task(bundle, int8_recipe(approach=Approach.DYNAMIC))
+        assert e4m3.relative_loss < int8.relative_loss
+        assert e4m3.passed
+
+    def test_smoothquant_helps_int8_on_outlier_model(self):
+        bundle = build_task("bloom-176b-lambada")
+        plain = evaluate_recipe_on_task(bundle, int8_recipe(approach=Approach.DYNAMIC, name="int8"))
+        smooth = evaluate_recipe_on_task(
+            bundle, int8_recipe(approach=Approach.DYNAMIC, smoothquant=True, name="int8-sq")
+        )
+        assert smooth.relative_loss <= plain.relative_loss + 1e-6
+
+    def test_extended_scheme_quantizes_layernorm_without_collapse(self, bert_bundle):
+        record = evaluate_recipe_on_task(
+            bert_bundle, extended_recipe("E4M3", batchnorm_calibration=False)
+        )
+        assert record.relative_loss < 0.05
+        standard = evaluate_recipe_on_task(bert_bundle, standard_recipe("E4M3"))
+        assert record.num_quantized_ops > standard.num_quantized_ops
+
+
+class TestCVTask:
+    def test_fp8_close_to_fp32_on_cnn(self, cnn_bundle):
+        for fmt in ("E4M3", "E3M4"):
+            record = evaluate_recipe_on_task(cnn_bundle, standard_recipe(fmt))
+            assert record.relative_loss < 0.03, fmt
+
+    def test_e5m2_is_weakest_format_on_cnn(self, cnn_bundle):
+        losses = {
+            fmt: evaluate_recipe_on_task(cnn_bundle, standard_recipe(fmt)).relative_loss
+            for fmt in ("E5M2", "E4M3", "E3M4")
+        }
+        assert losses["E5M2"] >= max(losses["E4M3"], losses["E3M4"]) - 1e-6
+
+    def test_first_last_operators_are_preserved_in_fp32(self, cnn_bundle):
+        result = quantize_model(
+            cnn_bundle.model,
+            standard_recipe("E4M3"),
+            calibration_data=cnn_bundle.calib_data,
+            prepare_inputs=cnn_bundle.prepare_inputs,
+            is_convolutional=True,
+        )
+        assert len(result.skipped_modules) >= 2
+
+    def test_quantizing_first_last_is_riskier(self, cnn_bundle):
+        """Section 4.3.1: enabling the first/last operators costs accuracy for small formats."""
+        keep = evaluate_recipe_on_task(cnn_bundle, standard_recipe("E5M2", name="keep"))
+        quantize_all = evaluate_recipe_on_task(
+            cnn_bundle,
+            standard_recipe(
+                "E5M2", skip_first_operator=False, skip_last_operator=False, name="quant-all"
+            ),
+        )
+        assert quantize_all.relative_loss >= keep.relative_loss - 0.01
+
+
+class TestDeterminism:
+    def test_quantization_is_deterministic(self, bert_bundle):
+        a = evaluate_recipe_on_task(bert_bundle, standard_recipe("E4M3"))
+        b = evaluate_recipe_on_task(bert_bundle, standard_recipe("E4M3"))
+        assert a.quantized_metric == pytest.approx(b.quantized_metric)
+
+    def test_original_model_metric_unchanged_after_sweeps(self, bert_bundle):
+        before = bert_bundle.evaluate()
+        evaluate_recipe_on_task(bert_bundle, standard_recipe("E3M4"))
+        evaluate_recipe_on_task(bert_bundle, int8_recipe())
+        assert bert_bundle.evaluate() == pytest.approx(before)

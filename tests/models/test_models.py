@@ -1,0 +1,213 @@
+"""Forward-pass and structural tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autograd import Tensor, no_grad
+from repro.models import (
+    BertStyleClassifier,
+    DLRMStyle,
+    GPTStyleLM,
+    SimpleMLP,
+    TinyDenoiser,
+    TinyDenseNet,
+    TinyEfficientNet,
+    TinyInception,
+    TinyMobileNet,
+    TinyResNet,
+    TinyShuffleNet,
+    TinyUNet,
+    TinyVGG,
+    ViTStyleClassifier,
+    Wav2VecStyleClassifier,
+)
+from repro.models.outliers import find_outlier_channels, inject_nlp_outliers
+
+
+def images(n=2, c=3, hw=16, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((n, c, hw, hw)).astype(np.float32))
+
+
+CNN_CLASSES = [TinyVGG, TinyResNet, TinyDenseNet, TinyMobileNet, TinyShuffleNet, TinyEfficientNet, TinyInception]
+
+
+class TestCNNFamily:
+    @pytest.mark.parametrize("cls", CNN_CLASSES)
+    def test_forward_shape(self, cls):
+        model = cls(num_classes=8, rng=np.random.default_rng(0))
+        model.eval()
+        with no_grad():
+            out = model(images())
+        assert out.shape == (2, 8)
+
+    @pytest.mark.parametrize("cls", [TinyResNet, TinyDenseNet, TinyMobileNet, TinyEfficientNet])
+    def test_has_batchnorm(self, cls):
+        model = cls(rng=np.random.default_rng(0))
+        assert any(isinstance(m, (nn.BatchNorm2d, nn.BatchNorm1d)) for m in model.modules())
+
+    def test_vgg_without_batchnorm(self):
+        model = TinyVGG(batch_norm=False, rng=np.random.default_rng(0))
+        assert not any(isinstance(m, nn.BatchNorm2d) for m in model.modules())
+
+    def test_resnet_has_residual_add_modules(self):
+        model = TinyResNet(rng=np.random.default_rng(0))
+        assert any(isinstance(m, nn.Add) for m in model.modules())
+
+    def test_efficientnet_has_mul_gate(self):
+        model = TinyEfficientNet(rng=np.random.default_rng(0))
+        assert any(isinstance(m, nn.Mul) for m in model.modules())
+
+    def test_unet_output_is_per_pixel(self):
+        model = TinyUNet(num_classes=2, base_width=8, rng=np.random.default_rng(0))
+        model.eval()
+        with no_grad():
+            out = model(images())
+        assert out.shape == (2, 2, 16, 16)
+
+    def test_deterministic_construction(self):
+        a = TinyResNet(rng=np.random.default_rng(5))
+        b = TinyResNet(rng=np.random.default_rng(5))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+
+class TestTransformerFamily:
+    def test_bert_classifier_shape(self):
+        model = BertStyleClassifier(vocab_size=32, num_classes=3, embed_dim=16, num_heads=2, num_layers=1)
+        model.eval()
+        tokens = np.random.default_rng(0).integers(0, 32, size=(4, 10))
+        with no_grad():
+            assert model(tokens).shape == (4, 3)
+
+    def test_funnel_pooling_halves_sequence(self):
+        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=2, funnel_pool=True)
+        model.eval()
+        tokens = np.random.default_rng(0).integers(0, 64, size=(2, 16))
+        with no_grad():
+            hidden = model.encode(tokens)
+        assert hidden.shape[1] == 4  # 16 -> 8 -> 4
+
+    def test_longformer_local_window(self):
+        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=1, local_window=2)
+        assert model.layers[0].attention.local_window == 2
+
+    def test_gpt_lm_logits_shape(self):
+        model = GPTStyleLM(vocab_size=20, embed_dim=16, num_heads=2, num_layers=1)
+        model.eval()
+        tokens = np.random.default_rng(0).integers(0, 20, size=(3, 12))
+        with no_grad():
+            assert model(tokens).shape == (3, 12, 20)
+
+    def test_gpt_greedy_generation_length(self):
+        model = GPTStyleLM(vocab_size=12, embed_dim=16, num_heads=2, num_layers=1)
+        model.eval()
+        out = model.generate(np.array([1, 2, 3]), max_new_tokens=5, beam_size=1)
+        assert len(out) == 8
+        assert out.min() >= 0 and out.max() < 12
+
+    def test_gpt_beam_search_returns_valid_tokens(self):
+        model = GPTStyleLM(vocab_size=12, embed_dim=16, num_heads=2, num_layers=1)
+        model.eval()
+        out = model.generate(np.array([0, 1]), max_new_tokens=4, beam_size=3)
+        assert len(out) == 6 and out.max() < 12
+
+    def test_vit_shape(self):
+        model = ViTStyleClassifier(num_classes=5, image_size=16, patch_size=4, embed_dim=16, num_heads=2)
+        model.eval()
+        with no_grad():
+            assert model(images()).shape == (2, 5)
+
+    def test_vit_patch_divisibility(self):
+        with pytest.raises(ValueError):
+            ViTStyleClassifier(image_size=10, patch_size=4)
+
+    def test_audio_classifier_shape(self):
+        model = Wav2VecStyleClassifier(n_features=8, num_classes=4, embed_dim=16, num_heads=2)
+        model.eval()
+        x = np.random.default_rng(0).standard_normal((3, 12, 8)).astype(np.float32)
+        with no_grad():
+            assert model(x).shape == (3, 4)
+
+
+class TestMLPFamily:
+    def test_dlrm_packed_input(self):
+        model = DLRMStyle(n_dense=4, n_sparse=3, vocab_size=10, embed_dim=8, bottom_hidden=(16, 8))
+        model.eval()
+        packed = np.concatenate(
+            [
+                np.random.default_rng(0).standard_normal((5, 4)).astype(np.float32),
+                np.random.default_rng(1).integers(0, 10, size=(5, 3)).astype(np.float32),
+            ],
+            axis=1,
+        )
+        with no_grad():
+            assert model(packed).shape == (5,)
+
+    def test_dlrm_tuple_input(self):
+        model = DLRMStyle(n_dense=4, n_sparse=2, vocab_size=10, embed_dim=8, bottom_hidden=(16, 8))
+        model.eval()
+        dense = np.zeros((3, 4), dtype=np.float32)
+        sparse = np.zeros((3, 2), dtype=np.int64)
+        with no_grad():
+            assert model((dense, sparse)).shape == (3,)
+
+    def test_dlrm_validates_bottom_mlp(self):
+        with pytest.raises(ValueError):
+            DLRMStyle(embed_dim=8, bottom_hidden=(16, 4))
+
+    def test_simple_mlp(self):
+        model = SimpleMLP(12, 3)
+        model.eval()
+        with no_grad():
+            assert model(np.zeros((2, 12), dtype=np.float32)).shape == (2, 3)
+
+    def test_denoiser_sample(self):
+        model = TinyDenoiser(width=8, rng=np.random.default_rng(0))
+        model.eval()
+        samples = model.sample(4, image_shape=(3, 8, 8), num_steps=2, rng=0)
+        assert samples.shape == (4, 3, 8, 8)
+        assert np.isfinite(samples).all()
+
+
+class TestOutlierInjection:
+    def _activations(self, model, tokens):
+        captured = {}
+        for name, module in model.named_modules():
+            if name.endswith("ln2"):
+                module.register_forward_hook(
+                    lambda m, i, o, key=name: captured.__setitem__(key, o.data.copy())
+                )
+        with no_grad():
+            model(tokens)
+        return captured
+
+    def test_injection_is_function_preserving(self):
+        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=2, rng=np.random.default_rng(0))
+        model.eval()
+        tokens = np.random.default_rng(1).integers(0, 64, size=(4, 10))
+        with no_grad():
+            before = model(tokens).data.copy()
+        injected = inject_nlp_outliers(model, alpha=16.0, num_channels=2, rng=0)
+        with no_grad():
+            after = model(tokens).data
+        assert injected  # something was injected
+        assert np.allclose(before, after, atol=1e-3)
+
+    def test_injection_creates_outlier_channels(self):
+        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=1, rng=np.random.default_rng(0))
+        model.eval()
+        tokens = np.random.default_rng(1).integers(0, 64, size=(4, 10))
+        inject_nlp_outliers(model, alpha=32.0, num_channels=2, rng=0)
+        acts = self._activations(model, tokens)
+        assert any(len(find_outlier_channels(a)) > 0 for a in acts.values())
+
+    def test_find_outlier_channels_on_clean_data(self):
+        clean = np.random.default_rng(0).standard_normal((100, 16))
+        assert len(find_outlier_channels(clean)) == 0
+
+    def test_injection_returns_channel_map(self):
+        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=3, rng=np.random.default_rng(0))
+        injected = inject_nlp_outliers(model, alpha=8.0, num_channels=3, rng=0)
+        assert len(injected) == 3  # one entry per layer
+        assert all(len(channels) == 3 for channels in injected.values())

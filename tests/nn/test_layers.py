@@ -1,0 +1,239 @@
+"""Tests for the NN layers, norms, activations, attention and containers."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autograd import Tensor
+
+
+def x_img(n=2, c=3, hw=8, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((n, c, hw, hw)).astype(np.float32))
+
+
+class TestLinearConv:
+    def test_linear_shapes(self):
+        layer = nn.Linear(6, 4)
+        assert layer(Tensor(np.ones((3, 6), dtype=np.float32))).shape == (3, 4)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(6, 4, bias=False)
+        assert layer.bias is None
+
+    def test_conv_shapes(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        assert layer(x_img()).shape == (2, 8, 8, 8)
+
+    def test_conv_stride(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(x_img()).shape == (2, 8, 4, 4)
+
+    def test_conv_weight_layout(self):
+        layer = nn.Conv2d(4, 6, 3, groups=2)
+        assert layer.weight.shape == (6, 2, 3, 3)
+
+    def test_embedding(self):
+        emb = nn.Embedding(10, 5)
+        out = emb(np.array([[0, 1, 2]]))
+        assert out.shape == (1, 3, 5)
+
+    def test_embedding_bag(self):
+        emb = nn.EmbeddingBag(10, 5)
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 5)
+
+    def test_dropout_eval_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_flatten(self):
+        assert nn.Flatten()(x_img()).shape == (2, 3 * 8 * 8)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+
+class TestNorms:
+    def test_batchnorm2d_train_updates_stats(self):
+        bn = nn.BatchNorm2d(3)
+        bn.train()
+        bn(x_img() * 5 + 2)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_batchnorm_eval_does_not_update(self):
+        bn = nn.BatchNorm2d(3)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(x_img())
+        assert np.allclose(bn.running_mean, before)
+
+    def test_batchnorm_calibration_mode_updates_in_eval(self):
+        bn = nn.BatchNorm2d(3)
+        bn.eval()
+        bn.calibrating = True
+        bn(x_img() + 4.0)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_batchnorm_calibration_cumulative_average(self):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        bn.reset_running_stats()
+        bn.calibrating = True
+        bn(Tensor(np.full((4, 1, 2, 2), 1.0, dtype=np.float32)))
+        bn(Tensor(np.full((4, 1, 2, 2), 3.0, dtype=np.float32)))
+        assert bn.running_mean[0] == pytest.approx(2.0, abs=1e-5)
+
+    def test_batchnorm1d(self):
+        bn = nn.BatchNorm1d(6)
+        out = bn(Tensor(np.random.default_rng(0).standard_normal((8, 6)).astype(np.float32)))
+        assert out.shape == (8, 6)
+
+    def test_layernorm_shapes(self):
+        ln = nn.LayerNorm(16)
+        out = ln(Tensor(np.random.default_rng(0).standard_normal((2, 5, 16)).astype(np.float32)))
+        assert out.shape == (2, 5, 16)
+
+    def test_groupnorm(self):
+        gn = nn.GroupNorm(2, 4)
+        assert gn(x_img(c=4)).shape == (2, 4, 8, 8)
+
+    def test_groupnorm_invalid_groups(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+
+class TestActivationsPooling:
+    @pytest.mark.parametrize("act_cls", [nn.ReLU, nn.GELU, nn.SiLU, nn.Sigmoid, nn.Tanh])
+    def test_activation_shapes(self, act_cls):
+        act = act_cls()
+        x = Tensor(np.linspace(-2, 2, 12, dtype=np.float32).reshape(3, 4))
+        assert act(x).shape == (3, 4)
+
+    def test_softmax_module(self):
+        out = nn.Softmax()(Tensor(np.random.default_rng(0).standard_normal((3, 5))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_maxpool(self):
+        assert nn.MaxPool2d(2)(x_img()).shape == (2, 3, 4, 4)
+
+    def test_avgpool(self):
+        assert nn.AvgPool2d(2)(x_img()).shape == (2, 3, 4, 4)
+
+    def test_adaptive_pool(self):
+        assert nn.AdaptiveAvgPool2d(1)(x_img()).shape == (2, 3, 1, 1)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = nn.MultiHeadSelfAttention(16, 4)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 6, 16)
+
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3)
+
+    def test_causal_mask_blocks_future(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        attn.eval()
+        x = np.random.default_rng(1).standard_normal((1, 5, 8)).astype(np.float32)
+        out1 = attn(Tensor(x), causal=True).data
+        x2 = x.copy()
+        x2[0, -1] += 10.0  # changing the last position must not affect earlier outputs
+        out2 = attn(Tensor(x2), causal=True).data
+        assert np.allclose(out1[0, :-1], out2[0, :-1], atol=1e-5)
+
+    def test_local_window_restricts_attention(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, local_window=1, rng=np.random.default_rng(0))
+        attn.eval()
+        x = np.random.default_rng(1).standard_normal((1, 6, 8)).astype(np.float32)
+        out1 = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 5] += 10.0  # position 0 is more than 1 away from position 5
+        out2 = attn(Tensor(x2)).data
+        assert np.allclose(out1[0, 0], out2[0, 0], atol=1e-5)
+
+    def test_batchmatmul_module(self):
+        bmm = nn.BatchMatMul()
+        a = Tensor(np.random.default_rng(0).standard_normal((2, 3, 4)))
+        b = Tensor(np.random.default_rng(1).standard_normal((2, 4, 5)))
+        assert bmm(a, b).shape == (2, 3, 5)
+
+    def test_add_mul_modules(self):
+        a, b = Tensor(np.ones(3)), Tensor(np.full(3, 2.0))
+        assert np.allclose(nn.Add()(a, b).data, 3.0)
+        assert np.allclose(nn.Mul()(a, b).data, 2.0)
+
+
+class TestContainers:
+    def test_sequential_runs_in_order(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert model(Tensor(np.ones((1, 4), dtype=np.float32))).shape == (1, 2)
+
+    def test_sequential_indexing(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU())
+        assert isinstance(model[1], nn.ReLU)
+        assert len(model) == 2
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.Linear(4, 4))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+
+    def test_modulelist(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert isinstance(layers[0], nn.Linear)
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones(2)))
+
+    def test_modulelist_parameters_registered(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+
+            def forward(self, x):
+                for layer in self.layers:
+                    x = layer(x)
+                return x
+
+        assert len(list(M().parameters())) == 4
+
+
+class TestOptim:
+    def test_sgd_decreases_quadratic(self):
+        from repro.optim import SGD
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(50):
+            opt.zero_grad()
+            loss = (Tensor(p.data, requires_grad=False),)
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_adam_decreases_quadratic(self):
+        from repro.optim import Adam
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = Adam([p], lr=0.3)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 0.2
+
+    def test_sgd_skips_params_without_grad(self):
+        from repro.optim import SGD
+        from repro.nn.module import Parameter
+
+        p = Parameter(np.ones(3, dtype=np.float32))
+        SGD([p], lr=1.0).step()
+        assert np.allclose(p.data, 1.0)

@@ -1,0 +1,172 @@
+"""Tests for quantization configs, recipes and range observers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp8 import E4M3
+from repro.quantization.observers import (
+    KLObserver,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+    MSEObserver,
+    PercentileObserver,
+    build_observer,
+)
+from repro.quantization.qconfig import (
+    Approach,
+    EXTENDED_OPERATORS,
+    Granularity,
+    OperatorQuantConfig,
+    QuantFormat,
+    QuantizationRecipe,
+    STANDARD_OPERATORS,
+    TensorQuantConfig,
+    extended_recipe,
+    int8_recipe,
+    standard_recipe,
+)
+
+
+class TestQuantFormat:
+    def test_fp8_flags(self):
+        assert QuantFormat.E4M3.is_fp8 and not QuantFormat.E4M3.is_int8
+        assert QuantFormat.INT8.is_int8 and not QuantFormat.INT8.is_fp8
+
+    def test_fp8_format_resolution(self):
+        assert QuantFormat.E4M3.fp8_format() is E4M3
+        with pytest.raises(ValueError):
+            QuantFormat.INT8.fp8_format()
+
+    def test_int8_spec_resolution(self):
+        assert QuantFormat.INT8.int8_spec().symmetric
+        assert not QuantFormat.INT8_ASYM.int8_spec().symmetric
+        with pytest.raises(ValueError):
+            QuantFormat.E3M4.int8_spec()
+
+    def test_fp32_disables_quantization(self):
+        assert not TensorQuantConfig(fmt=QuantFormat.FP32).enabled
+
+
+class TestRecipes:
+    def test_standard_recipe_operators(self):
+        recipe = standard_recipe("E4M3")
+        assert recipe.operators == STANDARD_OPERATORS
+        assert recipe.weight_granularity is Granularity.PER_CHANNEL
+        assert recipe.activation_granularity is Granularity.PER_TENSOR
+
+    def test_extended_recipe_operators(self):
+        recipe = extended_recipe("E4M3")
+        assert set(STANDARD_OPERATORS) < set(recipe.operators)
+        assert "LayerNorm" in recipe.operators and "BatchMatMul" in recipe.operators
+
+    def test_extended_mixed_formats(self):
+        recipe = extended_recipe(mixed_formats=True)
+        assert recipe.activation_fmt is QuantFormat.E4M3
+        assert recipe.weight_fmt is QuantFormat.E3M4
+
+    def test_int8_recipe(self):
+        recipe = int8_recipe(approach=Approach.DYNAMIC)
+        assert recipe.activation_fmt is QuantFormat.INT8
+        assert recipe.approach is Approach.DYNAMIC
+
+    def test_e5m2_uses_direct_quantization(self):
+        recipe = standard_recipe("E5M2")
+        assert recipe.tensor_configs().activation.approach is Approach.DIRECT
+
+    def test_e4m3_static_stays_static(self):
+        assert standard_recipe("E4M3").tensor_configs().activation.approach is Approach.STATIC
+
+    def test_config_for_fallback_module(self):
+        recipe = standard_recipe("E4M3", fallback_modules=("classifier",))
+        assert recipe.config_for("Linear", "classifier") is None
+        assert recipe.config_for("Linear", "other") is not None
+
+    def test_config_for_unlisted_operator(self):
+        recipe = standard_recipe("E4M3")
+        assert recipe.config_for("LayerNorm", "ln") is None
+
+    def test_module_override_takes_priority(self):
+        override = OperatorQuantConfig(
+            activation=TensorQuantConfig(fmt=QuantFormat.E3M4),
+            weight=TensorQuantConfig(fmt=QuantFormat.E3M4),
+        )
+        recipe = standard_recipe("E4M3", module_overrides={"fc1": override})
+        assert recipe.config_for("Linear", "fc1").activation.fmt is QuantFormat.E3M4
+
+    def test_describe(self):
+        desc = extended_recipe("E3M4", name="x").describe()
+        assert desc["name"] == "x" and desc["activation_fmt"] == "E3M4"
+
+    def test_string_format_lookup(self):
+        assert standard_recipe("e3m4").activation_fmt is QuantFormat.E3M4
+
+
+def _cfg(observer="minmax", granularity=Granularity.PER_TENSOR):
+    return TensorQuantConfig(fmt=QuantFormat.E4M3, granularity=granularity, observer=observer)
+
+
+class TestObservers:
+    def test_minmax_tracks_running_extremes(self):
+        obs = MinMaxObserver(_cfg())
+        obs.observe(np.array([1.0, -2.0]))
+        obs.observe(np.array([5.0, 0.5]))
+        lo, hi = obs.calibrated_range()
+        assert float(lo) == -2.0 and float(hi) == 5.0
+        assert float(obs.calibrated_absmax()) == 5.0
+
+    def test_minmax_requires_data(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver(_cfg()).calibrated_range()
+
+    def test_minmax_per_channel(self):
+        obs = MinMaxObserver(_cfg(granularity=Granularity.PER_CHANNEL), channel_axis=0)
+        obs.observe(np.array([[1.0, -3.0], [10.0, 0.1]]))
+        assert obs.calibrated_absmax().shape == (2,)
+        assert np.allclose(obs.calibrated_absmax(), [3.0, 10.0])
+
+    def test_moving_average_smooths(self):
+        obs = MovingAverageMinMaxObserver(_cfg("moving_average"), momentum=0.5)
+        obs.observe(np.array([0.0, 2.0]))
+        obs.observe(np.array([0.0, 10.0]))
+        _, hi = obs.calibrated_range()
+        assert 2.0 < float(hi) < 10.0
+
+    def test_percentile_ignores_extreme_outliers(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, 8000)
+        data[0] = 1e4
+        obs = PercentileObserver(_cfg("percentile"), percentile=99.0)
+        obs.observe(data)
+        _, hi = obs.calibrated_range()
+        assert float(hi) < 100.0
+
+    def test_mse_observer_clips_outliers(self):
+        rng = np.random.default_rng(1)
+        data = np.concatenate([rng.normal(0, 0.5, 4000), [50.0]])
+        obs = MSEObserver(_cfg("mse"))
+        obs.observe(data)
+        _, hi = obs.calibrated_range()
+        assert float(hi) <= 50.0
+
+    def test_kl_observer_returns_positive_threshold(self):
+        rng = np.random.default_rng(2)
+        obs = KLObserver(_cfg("kl"))
+        obs.observe(rng.normal(0, 1, 5000))
+        lo, hi = obs.calibrated_range()
+        assert float(hi) > 0 and float(lo) == -float(hi)
+
+    def test_build_observer_dispatch(self):
+        assert isinstance(build_observer(_cfg("minmax")), MinMaxObserver)
+        assert isinstance(build_observer(_cfg("kl")), KLObserver)
+        with pytest.raises(KeyError):
+            build_observer(_cfg("magic"))
+
+    @given(st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_absmax_bounds_all_observed_data(self, values):
+        obs = MinMaxObserver(_cfg())
+        data = np.asarray(values)
+        obs.observe(data)
+        assert float(obs.calibrated_absmax()) >= np.abs(data).max() - 1e-9
