@@ -19,6 +19,13 @@ from repro.fp8.formats import (
     FORMAT_REGISTRY,
     get_format,
 )
+from repro.fp8.kernels import (
+    KERNEL_ENV_VAR,
+    VALID_KERNELS,
+    get_active_kernel,
+    set_kernel,
+    use_kernel,
+)
 from repro.fp8.quantize import (
     quantize_to_fp8,
     fp8_round,
@@ -47,6 +54,11 @@ __all__ = [
     "E2M5",
     "FORMAT_REGISTRY",
     "get_format",
+    "KERNEL_ENV_VAR",
+    "VALID_KERNELS",
+    "get_active_kernel",
+    "set_kernel",
+    "use_kernel",
     "quantize_to_fp8",
     "fp8_round",
     "compute_scale",

@@ -235,62 +235,36 @@ class FP8Format:
 
         Values are first rounded onto the representable grid with
         round-to-nearest-even and saturation (see :func:`repro.fp8.quantize.fp8_round`).
-        NaNs map to the canonical NaN code.
+        NaNs map to the canonical NaN code.  Dispatches between the fast and
+        reference kernels (see :mod:`repro.fp8.kernels`).
         """
-        from repro.fp8.quantize import fp8_round
+        from repro.fp8 import kernels
 
-        x = np.asarray(x, dtype=np.float64)
-        rounded = fp8_round(x, self)
-        sign = (np.signbit(rounded) | ((rounded == 0) & np.signbit(x))).astype(np.int64)
-        mags = np.abs(rounded)
-        table = self.positive_values
-        idx = np.searchsorted(table, mags)
-        idx = np.clip(idx, 0, table.size - 1)
-        # searchsorted returns the left insertion point; the rounded value is
-        # exactly on the grid so at most one step correction is required.
-        mismatch = table[idx] != mags
-        idx = np.where(mismatch & (idx > 0) & (table[np.maximum(idx - 1, 0)] == mags), idx - 1, idx)
-        codes = self.codes[idx]
-        out = (sign << 7) | codes
-        nan_mask = np.isnan(x)
-        if np.any(nan_mask):
-            out = np.where(nan_mask, self.nan_code, out)
-        return out.astype(np.uint8)
+        if kernels.get_active_kernel() == "fast":
+            return kernels.fp8_encode_fast(x, self)
+        return kernels.fp8_encode_reference(x, self)
 
     @property
     def nan_code(self) -> int:
-        """The canonical raw code used for NaN."""
-        if self.ieee_like:
-            # exponent all ones, mantissa nonzero (use all ones mantissa).
-            return (self.exponent_all_ones << self.mantissa_bits) | (2**self.mantissa_bits - 1)
+        """The canonical raw code used for NaN.
+
+        For IEEE-like formats this is the all-ones-mantissa quiet NaN at the
+        top exponent; for extended formats the single reclaimed all-ones bit
+        pattern — the same expression either way.
+        """
         return (self.exponent_all_ones << self.mantissa_bits) | (2**self.mantissa_bits - 1)
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Decode raw 8-bit codes back to FP32 values."""
-        codes = np.asarray(codes, dtype=np.int64)
-        sign = (codes >> 7) & 1
-        mag_code = codes & 0x7F
-        m = self.mantissa_bits
-        exp_field = mag_code >> m
-        mant_field = mag_code & (2**m - 1)
+        """Decode raw 8-bit codes back to FP32 values.
 
-        subnormal = exp_field == 0
-        value = np.where(
-            subnormal,
-            2.0 ** (1 - self.bias) * (mant_field / 2**m),
-            2.0 ** (exp_field.astype(np.float64) - self.bias) * (1.0 + mant_field / 2**m),
-        )
-        if self.ieee_like:
-            special = exp_field == self.exponent_all_ones
-            inf_mask = special & (mant_field == 0)
-            nan_mask = special & (mant_field != 0)
-            value = np.where(inf_mask, np.inf, value)
-            value = np.where(nan_mask, np.nan, value)
-        else:
-            nan_mask = (exp_field == self.exponent_all_ones) & (mant_field == 2**m - 1)
-            value = np.where(nan_mask, np.nan, value)
-        value = np.where(sign == 1, -value, value)
-        return value.astype(np.float32)
+        Dispatches between the LUT-based fast kernel and the field-by-field
+        reference (see :mod:`repro.fp8.kernels`).
+        """
+        from repro.fp8 import kernels
+
+        if kernels.get_active_kernel() == "fast":
+            return kernels.fp8_decode_fast(codes, self)
+        return kernels.fp8_decode_reference(codes, self)
 
     def is_representable(self, x: float) -> bool:
         """Return True if the scalar ``x`` lies exactly on the format grid."""

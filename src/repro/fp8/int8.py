@@ -120,10 +120,19 @@ def int8_quantize(
     zero_point: np.ndarray,
     spec: Int8Spec = INT8_SYMMETRIC,
 ) -> np.ndarray:
-    """Quantize to integer codes in ``[qmin, qmax]`` (round-half-to-even)."""
+    """Quantize to integer codes in ``[qmin, qmax]`` (round-half-to-even).
+
+    Returns an ``np.int8`` array, as real INT8 storage would.  NaN inputs map
+    deterministically to the zero-point code (the code that dequantizes to
+    0.0); use :func:`int8_quantize_dequantize` if NaN propagation is needed.
+    """
     x = np.asarray(x, dtype=np.float64)
     q = np.rint(x / scale) + zero_point
-    return np.clip(q, spec.qmin, spec.qmax)
+    q = np.clip(q, spec.qmin, spec.qmax)
+    nan_mask = np.isnan(q)
+    if np.any(nan_mask):
+        q = np.where(nan_mask, np.broadcast_to(zero_point, q.shape), q)
+    return q.astype(np.int8)
 
 
 def int8_dequantize(
@@ -142,8 +151,15 @@ def int8_quantize_dequantize(
     scale: Optional[np.ndarray] = None,
     zero_point: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Round-trip INT8 emulation (the INT8 analogue of FP8 Q/DQ)."""
+    """Round-trip INT8 emulation (the INT8 analogue of FP8 Q/DQ).
+
+    NaNs propagate through the round trip, matching the FP8 Q/DQ path.
+    """
     if scale is None or zero_point is None:
         scale, zero_point = int8_compute_qparams(x, spec=spec, axis=axis)
     q = int8_quantize(x, scale, zero_point, spec=spec)
-    return int8_dequantize(q, scale, zero_point)
+    out = int8_dequantize(q, scale, zero_point)
+    nan_mask = np.isnan(x)
+    if np.any(nan_mask):
+        out = np.where(nan_mask, np.float32(np.nan), out).astype(np.float32)
+    return out

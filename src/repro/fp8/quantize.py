@@ -1,5 +1,10 @@
 """Vectorised FP8 rounding and scaled quantize/dequantize.
 
+The rounding primitive dispatches between two interchangeable kernels (see
+:mod:`repro.fp8.kernels`): the default ``fast`` bit-twiddling cast and the
+table-based ``reference`` oracle, selectable via ``REPRO_FP8_KERNEL`` or
+:func:`repro.fp8.kernels.set_kernel`.
+
 The paper's quantization flow (Section 3.1) uses
 
 * **per-tensor scaling for activations**, ``s = float_max / max_T`` (Eq. 2)
@@ -23,6 +28,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.fp8 import kernels
 from repro.fp8.formats import FP8Format, get_format
 
 __all__ = [
@@ -63,39 +69,9 @@ def fp8_round(x: np.ndarray, fmt: FormatLike) -> np.ndarray:
         Array of the same shape with float32 values lying on the format grid.
     """
     fmt = _resolve(fmt)
-    x = np.asarray(x, dtype=np.float64)
-    out_shape = x.shape
-    flat = x.reshape(-1)
-
-    table = fmt.positive_values
-    lsb = fmt.mantissa_lsbs
-
-    sign = np.sign(flat)
-    sign = np.where(sign == 0, 1.0, sign)
-    mags = np.abs(flat)
-    finite = np.isfinite(mags)
-    mags_clipped = np.clip(np.where(finite, mags, 0.0), 0.0, fmt.max_value)
-
-    # nearest-value lookup: idx is the insertion point, candidates are idx-1/idx
-    idx = np.searchsorted(table, mags_clipped)
-    hi = np.clip(idx, 0, table.size - 1)
-    lo = np.clip(idx - 1, 0, table.size - 1)
-    d_hi = np.abs(table[hi] - mags_clipped)
-    d_lo = np.abs(mags_clipped - table[lo])
-
-    take_lo = d_lo < d_hi
-    take_hi = d_hi < d_lo
-    tie = ~take_lo & ~take_hi
-    # ties-to-even: prefer the candidate whose mantissa LSB is 0
-    tie_take_lo = tie & (lsb[lo] == 0)
-    choose_lo = take_lo | tie_take_lo
-    chosen = np.where(choose_lo, table[lo], table[hi])
-
-    result = sign * chosen
-    # saturate infinities, propagate NaN
-    result = np.where(np.isinf(flat), np.sign(flat) * fmt.max_value, result)
-    result = np.where(np.isnan(flat), np.nan, result)
-    return result.reshape(out_shape).astype(np.float32)
+    if kernels.get_active_kernel() == "fast":
+        return kernels.fp8_round_fast(x, fmt)
+    return kernels.fp8_round_reference(x, fmt)
 
 
 def compute_scale(
@@ -187,10 +163,12 @@ def quantize_dequantize(
         Channel axis for per-channel scaling when ``scale`` is None.
     """
     fmt = _resolve(fmt)
-    x = np.asarray(x, dtype=np.float64)
     if scale is None:
         scale = compute_scale(x, fmt, axis=axis)
     scale = np.asarray(scale, dtype=np.float64)
+    if kernels.get_active_kernel() == "fast":
+        return kernels.quantize_dequantize_fused(x, fmt, scale)
+    x = np.asarray(x, dtype=np.float64)
     q = fp8_round(x * scale, fmt)
     return (q / scale).astype(np.float32)
 

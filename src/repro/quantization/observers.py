@@ -7,10 +7,17 @@ that *simple max scaling* is sufficient for FP8 — KL / MSE / percentile
 clipping, which help INT8, bring no benefit and can hurt because the FP8 grid
 is already dense near zero.  All of them are implemented here so the Appendix
 A.1 benchmark can reproduce that comparison.
+
+Granularity support: :class:`MinMaxObserver` and
+:class:`MovingAverageMinMaxObserver` support per-channel calibration; the
+sample-pooling observers (:class:`PercentileObserver`, :class:`MSEObserver`,
+:class:`KLObserver`) are **per-tensor only** and warn explicitly when handed a
+per-channel configuration instead of silently degrading.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -125,8 +132,79 @@ class MovingAverageMinMaxObserver(Observer):
         return self._min, self._max
 
 
-class PercentileObserver(Observer):
-    """Clip the range to a percentile of the observed magnitudes (per-tensor only)."""
+def _warn_per_tensor_only(observer: Observer, channel_axis: Optional[int]) -> None:
+    """Warn loudly when a per-channel config reaches a per-tensor-only observer.
+
+    Percentile / MSE / KL calibration pools samples across the whole tensor,
+    so a ``PER_CHANNEL`` config silently degrading to per-tensor would skew
+    every channel's scale.  The degradation still happens (these observers
+    have no per-channel mode), but it is now explicit.
+    """
+    if channel_axis is not None or observer.config.granularity is Granularity.PER_CHANNEL:
+        warnings.warn(
+            f"{type(observer).__name__} only supports per-tensor calibration; "
+            f"the per-channel configuration (channel_axis={channel_axis}) is "
+            "ignored and ranges are pooled over the whole tensor. Use the "
+            "'minmax' or 'moving_average' observer for per-channel scaling.",
+            UserWarning,
+            stacklevel=3,
+        )
+
+
+class _ReservoirMixin:
+    """Deterministic, globally bounded sample reservoir shared by sample-pooling observers.
+
+    Each batch is evenly strided down to at most ``reservoir_size`` elements,
+    and whenever the pooled total exceeds the bound the whole pool is
+    compacted back to ``reservoir_size`` evenly spaced samples, so memory is
+    bounded by ``2 * reservoir_size`` floats no matter how long calibration
+    runs.  Striding (rather than random sampling) keeps calibration
+    deterministic for a given data order.
+    """
+
+    reservoir_size: int
+    _samples: list
+    _stored: int
+
+    def _init_reservoir(self, reservoir_size: int) -> None:
+        self.reservoir_size = int(reservoir_size)
+        if self.reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
+        self._samples = []
+        self._stored = 0
+
+    @staticmethod
+    def _evenly_strided(flat: np.ndarray, size: int) -> np.ndarray:
+        if flat.size <= size:
+            return flat
+        idx = np.linspace(0, flat.size - 1, size).astype(np.int64)
+        return flat[idx]
+
+    def _add_samples(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        flat = self._evenly_strided(flat, self.reservoir_size)
+        self._samples.append(flat)
+        self._stored += flat.size
+        if self._stored > self.reservoir_size:
+            pooled = np.concatenate(self._samples)
+            pooled = self._evenly_strided(pooled, self.reservoir_size)
+            self._samples = [pooled]
+            self._stored = pooled.size
+
+    def _data(self) -> np.ndarray:
+        if not self._samples:
+            raise RuntimeError("observer has not seen any data")
+        return np.concatenate(self._samples)
+
+
+class PercentileObserver(_ReservoirMixin, Observer):
+    """Clip the range to a percentile of the observed magnitudes.
+
+    Per-tensor only (a per-channel config triggers an explicit warning and is
+    pooled over the whole tensor).  At most ``max_samples`` calibration samples
+    are retained globally across all observed batches, via a deterministic
+    evenly-strided reservoir.
+    """
 
     def __init__(
         self,
@@ -136,46 +214,43 @@ class PercentileObserver(Observer):
         max_samples: int = 1_000_000,
     ) -> None:
         super().__init__(config, channel_axis=None)
+        _warn_per_tensor_only(self, channel_axis)
         self.percentile = percentile
-        self.max_samples = max_samples
-        self._samples: list = []
+        self.max_samples = int(max_samples)
+        self._init_reservoir(self.max_samples)
 
     def observe(self, x: np.ndarray) -> None:
-        flat = np.asarray(x, dtype=np.float64).reshape(-1)
-        if flat.size > self.max_samples // 8:
-            idx = np.linspace(0, flat.size - 1, self.max_samples // 8).astype(np.int64)
-            flat = flat[idx]
-        self._samples.append(flat)
+        self._add_samples(x)
         self.num_batches += 1
 
     def calibrated_range(self) -> Tuple[np.ndarray, np.ndarray]:
-        if not self._samples:
-            raise RuntimeError("observer has not seen any data")
-        data = np.concatenate(self._samples)
+        data = self._data()
         lo = np.percentile(data, 100.0 - self.percentile)
         hi = np.percentile(data, self.percentile)
         return np.asarray(lo), np.asarray(hi)
 
 
-class _SearchObserver(Observer):
-    """Shared machinery for observers that search for the best clipping threshold."""
+class _SearchObserver(_ReservoirMixin, Observer):
+    """Shared machinery for observers that search for the best clipping threshold.
+
+    Per-tensor only (a per-channel config triggers an explicit warning), with
+    the same globally bounded deterministic reservoir as
+    :class:`PercentileObserver`.
+    """
+
+    #: global bound on retained calibration samples (threshold search is
+    #: quadratic-ish in practice, so the default is much smaller than the
+    #: percentile observer's)
+    reservoir_size = 65536
 
     def __init__(self, config: TensorQuantConfig, channel_axis: Optional[int] = None) -> None:
         super().__init__(config, channel_axis=None)
-        self._samples: list = []
+        _warn_per_tensor_only(self, channel_axis)
+        self._init_reservoir(type(self).reservoir_size)
 
     def observe(self, x: np.ndarray) -> None:
-        flat = np.asarray(x, dtype=np.float64).reshape(-1)
-        if flat.size > 65536:
-            idx = np.linspace(0, flat.size - 1, 65536).astype(np.int64)
-            flat = flat[idx]
-        self._samples.append(flat)
+        self._add_samples(x)
         self.num_batches += 1
-
-    def _data(self) -> np.ndarray:
-        if not self._samples:
-            raise RuntimeError("observer has not seen any data")
-        return np.concatenate(self._samples)
 
     def _quant_error(self, data: np.ndarray, absmax: float) -> float:
         """Mean-squared quantization error if the range is clipped at ``absmax``."""

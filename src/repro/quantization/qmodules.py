@@ -111,7 +111,9 @@ class TensorQuantizer:
                 scale = compute_scale(x, fp8, axis=self.channel_axis)
             else:
                 absmax = self._reshape_channelwise(np.asarray(self._absmax), x.ndim)
-                scale = fp8.max_value / np.maximum(absmax, 1e-12)
+                scale = compute_scale(x, fp8, absmax=absmax)
+            # quantize_dequantize runs the fused scale→round→rescale kernel
+            # when the fast FP8 kernel is active (see repro.fp8.kernels).
             return quantize_dequantize(x, fp8, scale=scale)
 
         # INT8 path

@@ -238,7 +238,10 @@ def quantize_model(
     result = prepare_model(target, recipe, is_convolutional=is_convolutional)
     result.smoothquant_applied = smoothquant_applied
 
-    needs_calibration = recipe.approach is Approach.STATIC and any(
+    # Gate on the per-quantizer configs alone: a mixed recipe whose top-level
+    # approach is dynamic can still contain static per-module overrides, and
+    # those would otherwise be converted with unobserved ranges.
+    needs_calibration = any(
         q.config.approach is Approach.STATIC and q.config.enabled
         for _, m in target.named_modules()
         if isinstance(m, QuantizedModule)

@@ -1,0 +1,200 @@
+"""Regression tests for calibration-path fixes.
+
+Covers the bugs fixed alongside the kernel work:
+
+* ``quantize_model`` gating on the recipe-level approach, which skipped
+  calibration for mixed recipes whose top-level approach is dynamic but whose
+  per-module overrides are static;
+* ``PercentileObserver`` growing memory without bound across batches;
+* percentile / MSE / KL observers silently dropping ``channel_axis``;
+* ``int8_quantize`` returning float64 "integer codes".
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.fp8.int8 import (
+    INT8_ASYMMETRIC,
+    INT8_SYMMETRIC,
+    int8_compute_qparams,
+    int8_quantize,
+    int8_quantize_dequantize,
+)
+from repro.quantization import (
+    Approach,
+    QuantFormat,
+    quantize_model,
+)
+from repro.quantization.observers import (
+    KLObserver,
+    MSEObserver,
+    PercentileObserver,
+    build_observer,
+)
+from repro.quantization.qconfig import (
+    Granularity,
+    OperatorQuantConfig,
+    TensorQuantConfig,
+    standard_recipe,
+)
+
+
+def _calib(n=32, dim=8, seed=0):
+    return [
+        np.random.default_rng(seed + i).standard_normal((4, dim)).astype(np.float32)
+        for i in range(n // 4)
+    ]
+
+
+def _static_override(fmt=QuantFormat.E4M3):
+    return OperatorQuantConfig(
+        activation=TensorQuantConfig(fmt=fmt, approach=Approach.STATIC),
+        weight=TensorQuantConfig(fmt=fmt, granularity=Granularity.PER_CHANNEL),
+    )
+
+
+class TestMixedRecipeCalibrationGating:
+    def test_dynamic_recipe_with_static_override_calibrates(self):
+        """A dynamic top-level recipe with a static per-module override must calibrate."""
+        model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 2))
+        recipe = standard_recipe(
+            "E4M3",
+            approach=Approach.DYNAMIC,
+            module_overrides={"0": _static_override()},
+        )
+        result = quantize_model(model, recipe, calibration_data=_calib())
+        wrapper = result.model.get_submodule("0")
+        quantizer = wrapper.input_quantizers[0]
+        assert quantizer.config.approach is Approach.STATIC
+        assert quantizer.frozen
+        # the observer actually saw the calibration batches
+        assert quantizer.observer.ready
+        assert quantizer._absmax is not None and float(quantizer._absmax) > 0
+
+    def test_dynamic_recipe_with_static_override_requires_data(self):
+        model = nn.Sequential(nn.Linear(8, 2))
+        recipe = standard_recipe(
+            "E4M3",
+            approach=Approach.DYNAMIC,
+            module_overrides={"0": _static_override()},
+        )
+        with pytest.raises((ValueError, RuntimeError)):
+            quantize_model(model, recipe, calibration_data=None)
+
+    def test_pure_dynamic_recipe_still_skips_calibration(self):
+        model = nn.Sequential(nn.Linear(8, 2))
+        recipe = standard_recipe("E4M3", approach=Approach.DYNAMIC)
+        result = quantize_model(model, recipe, calibration_data=None)
+        assert result.num_quantized == 1
+
+
+class TestPercentileReservoir:
+    def _cfg(self, observer="percentile", granularity=Granularity.PER_TENSOR):
+        return TensorQuantConfig(
+            fmt=QuantFormat.E4M3, granularity=granularity, observer=observer
+        )
+
+    def test_global_sample_bound_across_batches(self):
+        obs = PercentileObserver(self._cfg(), max_samples=1000)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            obs.observe(rng.normal(size=700))
+        assert sum(s.size for s in obs._samples) <= 1000
+        assert obs._data().size <= 1000
+
+    def test_single_oversized_batch_is_capped(self):
+        obs = PercentileObserver(self._cfg(), max_samples=256)
+        obs.observe(np.random.default_rng(1).normal(size=10_000))
+        assert obs._data().size <= 256
+
+    def test_range_still_sensible_after_compaction(self):
+        obs = PercentileObserver(self._cfg(), max_samples=2048, percentile=99.0)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            obs.observe(rng.normal(0.0, 1.0, 5000))
+        lo, hi = obs.calibrated_range()
+        # the 99th percentile of a unit gaussian is ~2.33
+        assert 1.5 < float(hi) < 3.5
+        assert -3.5 < float(lo) < -1.5
+
+    def test_search_observer_bound(self):
+        obs = MSEObserver(self._cfg("mse"))
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            obs.observe(rng.normal(size=100_000))
+        assert obs._data().size <= obs.reservoir_size
+
+    def test_invalid_reservoir_size_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(self._cfg(), max_samples=0)
+
+
+class TestChannelAxisExplicitDegradation:
+    @pytest.mark.parametrize("observer", ["percentile", "mse", "kl"])
+    def test_per_channel_config_warns(self, observer):
+        cfg = TensorQuantConfig(
+            fmt=QuantFormat.E4M3,
+            granularity=Granularity.PER_CHANNEL,
+            observer=observer,
+        )
+        with pytest.warns(UserWarning, match="per-tensor"):
+            build_observer(cfg, channel_axis=0)
+
+    @pytest.mark.parametrize("cls", [PercentileObserver, MSEObserver, KLObserver])
+    def test_explicit_channel_axis_warns(self, cls):
+        cfg = TensorQuantConfig(fmt=QuantFormat.E4M3, observer="minmax")
+        with pytest.warns(UserWarning, match="channel_axis"):
+            cls(cfg, channel_axis=1)
+
+    @pytest.mark.parametrize("observer", ["percentile", "mse", "kl"])
+    def test_per_tensor_config_does_not_warn(self, observer):
+        cfg = TensorQuantConfig(fmt=QuantFormat.E4M3, observer=observer)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_observer(cfg, channel_axis=None)
+
+    def test_degraded_observer_still_calibrates_per_tensor(self):
+        cfg = TensorQuantConfig(
+            fmt=QuantFormat.E4M3,
+            granularity=Granularity.PER_CHANNEL,
+            observer="percentile",
+        )
+        with pytest.warns(UserWarning):
+            obs = build_observer(cfg, channel_axis=0)
+        obs.observe(np.random.default_rng(4).normal(size=(8, 16)))
+        lo, hi = obs.calibrated_range()
+        assert np.asarray(lo).ndim == 0 and np.asarray(hi).ndim == 0
+
+
+class TestInt8CodesDtype:
+    def test_int8_quantize_returns_int8(self):
+        x = np.random.default_rng(5).normal(size=100) * 10
+        scale, zp = int8_compute_qparams(x, INT8_SYMMETRIC)
+        q = int8_quantize(x, scale, zp, INT8_SYMMETRIC)
+        assert q.dtype == np.int8
+        assert q.min() >= -127 and q.max() <= 127
+
+    def test_asymmetric_codes_cover_full_range(self):
+        x = np.linspace(-1.0, 3.0, 1000)
+        scale, zp = int8_compute_qparams(x, INT8_ASYMMETRIC)
+        q = int8_quantize(x, scale, zp, INT8_ASYMMETRIC)
+        assert q.dtype == np.int8
+        assert q.min() >= -128 and q.max() <= 127
+
+    @pytest.mark.parametrize("spec", [INT8_SYMMETRIC, INT8_ASYMMETRIC])
+    def test_nan_maps_to_zero_point_code(self, spec):
+        x = np.array([-1.0, np.nan, 3.0])
+        scale, zp = int8_compute_qparams(np.array([-1.0, 3.0]), spec)
+        q = int8_quantize(x, scale, zp, spec)
+        assert q.dtype == np.int8
+        assert int(q[1]) == int(zp)
+
+    def test_qdq_propagates_nan_like_fp8_path(self):
+        x = np.array([np.nan, 1.0, -2.0])
+        scale, zp = int8_compute_qparams(np.array([1.0, -2.0]), INT8_SYMMETRIC)
+        out = int8_quantize_dequantize(x, scale=scale, zero_point=zp)
+        assert np.isnan(out[0]) and not np.isnan(out[1:]).any()
+        assert out.dtype == np.float32
