@@ -5,9 +5,13 @@ floating point formats studied in the paper (E5M2, E4M3, E3M4, Table 1),
 together with INT8 affine/symmetric quantization used as the baseline.
 
 The emulation mirrors the approach of the FP8 Emulation Toolkit used by the
-paper: values are stored and computed in FP32, but are rounded onto the
-representable grid of the target 8-bit format (with saturation and
-round-to-nearest-even) whenever a tensor is "quantized".
+paper: *compute* stays in FP32, with values rounded onto the representable
+grid of the target 8-bit format (with saturation and round-to-nearest-even)
+whenever a tensor is "quantized" — but *storage* is real: the packed
+:class:`~repro.fp8.quantize.QuantizedTensor` type holds raw one-byte codes
+(uint8 FP8 codes or int8 integer codes) plus per-tensor/per-channel scales,
+so a quantized weight costs ~0.25x its float32 bytes at rest (see the memory
+model in :mod:`repro.fp8.quantize`).
 """
 
 from repro.fp8.formats import (
@@ -22,6 +26,7 @@ from repro.fp8.formats import (
 from repro.fp8.kernels import (
     KERNEL_ENV_VAR,
     VALID_KERNELS,
+    channel_absmax,
     get_active_kernel,
     set_kernel,
     use_kernel,
@@ -37,8 +42,11 @@ from repro.fp8.int8 import (
     Int8Spec,
     INT8_SYMMETRIC,
     INT8_ASYMMETRIC,
+    INT8_SPEC_REGISTRY,
     int8_quantize_dequantize,
     int8_compute_qparams,
+    int8_quantize_channelwise,
+    int8_dequantize_channelwise,
 )
 from repro.fp8.density import (
     format_density,
@@ -56,6 +64,7 @@ __all__ = [
     "get_format",
     "KERNEL_ENV_VAR",
     "VALID_KERNELS",
+    "channel_absmax",
     "get_active_kernel",
     "set_kernel",
     "use_kernel",
@@ -67,8 +76,11 @@ __all__ = [
     "Int8Spec",
     "INT8_SYMMETRIC",
     "INT8_ASYMMETRIC",
+    "INT8_SPEC_REGISTRY",
     "int8_quantize_dequantize",
     "int8_compute_qparams",
+    "int8_quantize_channelwise",
+    "int8_dequantize_channelwise",
     "format_density",
     "density_at",
     "representable_count_in_range",

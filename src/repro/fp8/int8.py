@@ -8,6 +8,7 @@ quantize/dequantize used by the INT8 baseline throughout the benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -17,10 +18,13 @@ __all__ = [
     "Int8Spec",
     "INT8_SYMMETRIC",
     "INT8_ASYMMETRIC",
+    "INT8_SPEC_REGISTRY",
     "int8_compute_qparams",
     "int8_quantize",
     "int8_dequantize",
     "int8_quantize_dequantize",
+    "int8_quantize_channelwise",
+    "int8_dequantize_channelwise",
 ]
 
 
@@ -66,13 +70,16 @@ class Int8Spec:
 INT8_SYMMETRIC = Int8Spec(name="INT8", symmetric=True)
 INT8_ASYMMETRIC = Int8Spec(name="INT8-asym", symmetric=False)
 
+#: lookup by spec name, used by the packed-tensor state-dict round trip
+INT8_SPEC_REGISTRY = {spec.name: spec for spec in (INT8_SYMMETRIC, INT8_ASYMMETRIC)}
+
 
 def _reduce_axes(x: np.ndarray, axis: Optional[Union[int, Sequence[int]]]):
-    if axis is None:
-        return None
-    channel_axes = (axis,) if isinstance(axis, int) else tuple(axis)
-    channel_axes = tuple(a % x.ndim for a in channel_axes)
-    return tuple(a for a in range(x.ndim) if a not in channel_axes)
+    # single source of truth for channel-axis inversion, shared with the FP8
+    # fused kernels
+    from repro.fp8.kernels import _channel_reduce_axes
+
+    return _channel_reduce_axes(x.ndim, axis)
 
 
 def int8_compute_qparams(
@@ -88,9 +95,11 @@ def int8_compute_qparams(
     Scale maps real values to the integer grid: ``q = round(x / scale) + zp``.
     For symmetric quantization ``scale = absmax / 127`` and ``zp = 0``.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
     reduce_axes = _reduce_axes(x, axis)
     if min_val is None or max_val is None:
+        # reduce on the native dtype (min/max are exact in any float width) so
+        # no full-size float64 copy of the tensor is ever materialised
         if reduce_axes is None:
             min_val = np.min(x) if x.size else np.asarray(0.0)
             max_val = np.max(x) if x.size else np.asarray(0.0)
@@ -111,6 +120,18 @@ def int8_compute_qparams(
         scale = np.maximum(max_val - min_val, eps) / (spec.qmax - spec.qmin)
         zero_point = np.round(spec.qmin - min_val / scale)
         zero_point = np.clip(zero_point, spec.qmin, spec.qmax)
+    # same guard as the FP8 path (repro.fp8.kernels.absmax_to_scale): an
+    # all-NaN channel yields a NaN scale that would poison the whole tensor
+    finite = np.isfinite(scale)
+    if not np.all(finite):
+        warnings.warn(
+            "non-finite scale in INT8 qparams (all-NaN or inf channel); "
+            "affected scales fall back to 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        scale = np.where(finite, scale, 1.0)
+        zero_point = np.where(finite, zero_point, 0.0)
     return scale, zero_point
 
 
@@ -126,9 +147,13 @@ def int8_quantize(
     deterministically to the zero-point code (the code that dequantizes to
     0.0); use :func:`int8_quantize_dequantize` if NaN propagation is needed.
     """
-    x = np.asarray(x, dtype=np.float64)
-    q = np.rint(x / scale) + zero_point
-    q = np.clip(q, spec.qmin, spec.qmax)
+    # single fused pass: divide straight into a float64 buffer, then round,
+    # shift and clip in place (the scale/zero_point broadcast — with keepdims
+    # shape for per-channel — is never materialised to the tensor's shape)
+    q = np.divide(x, scale, dtype=np.float64)
+    np.rint(q, out=q)
+    np.add(q, zero_point, out=q)
+    np.clip(q, spec.qmin, spec.qmax, out=q)
     nan_mask = np.isnan(q)
     if np.any(nan_mask):
         q = np.where(nan_mask, np.broadcast_to(zero_point, q.shape), q)
@@ -163,3 +188,45 @@ def int8_quantize_dequantize(
     if np.any(nan_mask):
         out = np.where(nan_mask, np.float32(np.nan), out).astype(np.float32)
     return out
+
+
+def int8_quantize_channelwise(
+    x: np.ndarray,
+    spec: Int8Spec = INT8_SYMMETRIC,
+    axis: Optional[Union[int, Sequence[int]]] = None,
+    scale: Optional[np.ndarray] = None,
+    zero_point: Optional[np.ndarray] = None,
+    min_val: Optional[np.ndarray] = None,
+    max_val: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused min/max → qparams → encode (the INT8 analogue of the FP8 path).
+
+    One reduction pass plus one in-place quantize pass; returns
+    ``(codes, scale, zero_point)`` with ``codes`` and ``zero_point`` stored as
+    ``np.int8`` (the zero point is integral by construction) and the qparams
+    in their reduced ``keepdims`` shape (never broadcast to the tensor's
+    shape).  NaN inputs land on the zero-point code, i.e. they dequantize to
+    exactly 0.0 — packed storage has no NaN representation.
+    """
+    if scale is None:
+        scale, zero_point = int8_compute_qparams(
+            x, spec=spec, axis=axis, min_val=min_val, max_val=max_val
+        )
+    elif zero_point is None:
+        # an injected scale without a zero point means symmetric semantics
+        zero_point = np.zeros_like(np.asarray(scale, dtype=np.float64))
+    codes = int8_quantize(x, scale, zero_point, spec=spec)
+    return (
+        codes,
+        np.asarray(scale, dtype=np.float64),
+        np.asarray(zero_point).astype(np.int8),
+    )
+
+
+def int8_dequantize_channelwise(
+    codes: np.ndarray, scale: np.ndarray, zero_point: np.ndarray
+) -> np.ndarray:
+    """Fused decode → rescale: one widening subtract plus one broadcast multiply."""
+    out = np.subtract(codes, zero_point, dtype=np.float64)
+    np.multiply(out, scale, out=out)
+    return out.astype(np.float32, copy=False)

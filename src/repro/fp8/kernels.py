@@ -61,9 +61,10 @@ format with ``m`` mantissa bits and bias ``b``:
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from functools import lru_cache
-from typing import Iterator, NamedTuple, Optional
+from typing import Iterator, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -82,7 +83,14 @@ __all__ = [
     "fp8_decode_fast",
     "fp8_decode_reference",
     "quantize_dequantize_fused",
+    "channel_absmax",
+    "absmax_to_scale",
+    "fp8_quantize_channelwise",
+    "fp8_dequantize_channelwise",
+    "quantize_dequantize_axis",
 ]
+
+AxisLike = Optional[Union[int, Sequence[int]]]
 
 KERNEL_ENV_VAR = "REPRO_FP8_KERNEL"
 VALID_KERNELS = ("fast", "reference")
@@ -393,3 +401,136 @@ def quantize_dequantize_fused(
     value = _rounded_values(np.ravel(scaled), c).reshape(scaled.shape)
     np.divide(value, scale, out=value)
     return value.astype(np.float32, copy=False)
+
+
+# ======================================================================
+# Fused per-axis (channelwise) kernels
+# ======================================================================
+# These are the one-call-per-operator entry points used by the packed storage
+# subsystem (:class:`repro.fp8.quantize.QuantizedTensor`) and the quantized
+# operator wrappers.  Each call performs the whole absmax → scale → encode (or
+# decode → rescale) chain in a single pass over the tensor; the per-channel
+# scale keeps its reduced ``keepdims`` shape end to end and is only ever
+# *broadcast* against the data (numpy broadcasting allocates nothing), never
+# materialised into a full-size scale array.
+
+
+def _channel_reduce_axes(ndim: int, axis: AxisLike) -> Optional[Tuple[int, ...]]:
+    """Axes to reduce over so that only the channel axis/axes survive."""
+    if axis is None:
+        return None
+    channel_axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    channel_axes = tuple(a % ndim for a in channel_axes)
+    return tuple(a for a in range(ndim) if a not in channel_axes)
+
+
+def channel_absmax(x: np.ndarray, axis: AxisLike = None) -> np.ndarray:
+    """Absolute maximum reduced over every axis except the channel axis/axes.
+
+    Per-tensor (``axis=None``) returns a scalar array; per-channel returns a
+    ``keepdims`` array broadcastable against ``x``.  The reduction runs on the
+    input's native dtype (max of |x| is exact in any float width) and only the
+    reduced result is promoted to float64.
+    """
+    x = np.asarray(x)
+    reduce_axes = _channel_reduce_axes(x.ndim, axis)
+    if reduce_axes is None and axis is None:
+        absmax = np.max(np.abs(x)) if x.size else np.asarray(0.0)
+    else:
+        absmax = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
+    return np.asarray(absmax, dtype=np.float64)
+
+
+def absmax_to_scale(
+    absmax: np.ndarray, max_value: float, eps: float = 1e-12
+) -> np.ndarray:
+    """Map calibrated absmax values onto scales, ``s = max_value / absmax``.
+
+    The absmax is clamped from below by ``eps`` so all-zero tensors/channels
+    get a finite scale.  A *non-finite* absmax (an all-NaN channel, or an inf
+    produced by overflowed calibration) would otherwise poison every element
+    that shares the scale; those entries map to scale 1.0 with a warning so
+    the damage stays confined to the already-broken channel.
+    """
+    absmax = np.asarray(absmax, dtype=np.float64)
+    scale = max_value / np.maximum(absmax, eps)
+    finite = np.isfinite(absmax)
+    if not np.all(finite):
+        warnings.warn(
+            "non-finite absmax in scale computation (all-NaN or inf channel); "
+            "affected scales fall back to 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        scale = np.where(finite, scale, 1.0)
+    return scale
+
+
+def fp8_quantize_channelwise(
+    x: np.ndarray,
+    fmt: FP8Format,
+    axis: AxisLike = None,
+    absmax: Optional[np.ndarray] = None,
+    scale: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused absmax → scale → encode: one reduction plus one encode pass.
+
+    Returns ``(codes, scale)``: packed uint8 codes of ``x * scale`` and the
+    float64 scale actually used (scalar for per-tensor, ``keepdims``-shaped
+    for per-channel).  The scaled product is formed in float64 via a single
+    broadcast multiply, exactly like :func:`quantize_dequantize_fused`, so
+    ``decode(codes) / scale`` is bit-identical to the Q/DQ round trip.
+    """
+    if scale is None:
+        if absmax is None:
+            absmax = channel_absmax(x, axis)
+        scale = absmax_to_scale(absmax, fmt.max_value)
+    else:
+        scale = np.asarray(scale, dtype=np.float64)
+    scaled = np.multiply(x, scale, dtype=np.float64)
+    if get_active_kernel() == "fast":
+        codes = fp8_encode_fast(scaled, fmt)
+    else:
+        codes = fp8_encode_reference(scaled, fmt)
+    return codes, scale
+
+
+def fp8_dequantize_channelwise(
+    codes: np.ndarray, fmt: FP8Format, scale: np.ndarray
+) -> np.ndarray:
+    """Fused decode → rescale: one gather plus one broadcast divide.
+
+    Inverse of :func:`fp8_quantize_channelwise`; the divide happens in float64
+    against the broadcast (never materialised) scale and the result is cast
+    to float32, matching the fused Q/DQ pipeline bit for bit.
+    """
+    if get_active_kernel() == "fast":
+        values = fp8_decode_fast(codes, fmt)
+    else:
+        values = fp8_decode_reference(codes, fmt)
+    out = np.divide(values, scale, dtype=np.float64)
+    return out.astype(np.float32, copy=False)
+
+
+def quantize_dequantize_axis(
+    x: np.ndarray,
+    fmt: FP8Format,
+    axis: AxisLike = None,
+    absmax: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused absmax → scale → round → rescale in a single call.
+
+    The per-operator activation/weight Q/DQ entry point: replaces the old
+    two-step ``compute_scale`` + ``quantize_dequantize`` sequence (which
+    re-walked the tensor once per step) with one reduction and one fused
+    round-trip, and never materialises a broadcast scale array.  Bit-identical
+    to the unfused sequence on both kernels.
+    """
+    if absmax is None:
+        absmax = channel_absmax(x, axis)
+    scale = absmax_to_scale(absmax, fmt.max_value)
+    if get_active_kernel() == "fast":
+        return quantize_dequantize_fused(x, fmt, scale)
+    scaled = np.multiply(x, scale, dtype=np.float64)
+    q = fp8_round_reference(scaled, fmt)
+    return (q / scale).astype(np.float32)

@@ -1,4 +1,4 @@
-"""Vectorised FP8 rounding and scaled quantize/dequantize.
+"""Vectorised FP8 rounding, scaled quantize/dequantize and packed 8-bit storage.
 
 The rounding primitive dispatches between two interchangeable kernels (see
 :mod:`repro.fp8.kernels`): the default ``fast`` bit-twiddling cast and the
@@ -16,20 +16,48 @@ The paper's quantization flow (Section 3.1) uses
 range is large enough to cover typical activations without calibration;
 ``E4M3``/``E3M4`` use max scaling.
 
-All functions work on numpy arrays and emulate the FP8 cast by rounding the
-scaled FP32 values onto the format's representable grid with
-round-to-nearest-even and saturation to ``±max_value``.
+Memory model: packed at rest, float32 in compute
+------------------------------------------------
+The emulation computes in FP32 (values are rounded onto the 8-bit grid, not
+arithmetically narrowed), but *storage* matches the deployed artifact:
+:class:`QuantizedTensor` holds one byte per element — raw FP8 codes
+(``uint8``, ``sign<<7 | magnitude``) or INT8 codes (``int8``) — plus a
+per-tensor or per-channel scale (and a zero point for asymmetric INT8) in
+their reduced ``keepdims`` shape.  ``dequantize()`` re-materialises a float32
+tensor on demand; callers that need the dequantized values repeatedly (the
+operator wrappers in :mod:`repro.quantization.qmodules`) cache that float32
+view and can drop it at any time, because the packed codes remain the storage
+of record.  A float32 weight therefore costs ``~0.25x`` its dense bytes at
+rest (codes + scales), which is what ``benchmarks/bench_memory_footprint.py``
+measures.
+
+Quantizing into and out of packed storage goes through the fused per-axis
+kernels (:func:`repro.fp8.kernels.fp8_quantize_channelwise` /
+:func:`~repro.fp8.kernels.fp8_dequantize_channelwise`), so
+``QuantizedTensor.quantize(x, fmt, axis=a).dequantize()`` is bit-identical to
+the Q/DQ round trip ``quantize_dequantize(x, fmt, axis=a)`` — with one
+deliberate exception: packed codes keep the sign of a rounded-to-zero
+negative value (``-0.0`` decodes as ``-0.0``), while the value-domain round
+trip normalises it to ``+0.0``.  NaN encodes to the format's canonical NaN
+code and decodes back to NaN; INT8 has no NaN representation, so NaNs land on
+the zero-point code (dequantizing to 0.0), as real INT8 storage would.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.fp8 import kernels
 from repro.fp8.formats import FP8Format, get_format
+from repro.fp8.int8 import (
+    INT8_SPEC_REGISTRY,
+    Int8Spec,
+    int8_dequantize_channelwise,
+    int8_quantize_channelwise,
+)
 
 __all__ = [
     "fp8_round",
@@ -40,11 +68,23 @@ __all__ = [
 ]
 
 FormatLike = Union[str, FP8Format]
+StorageFormat = Union[FP8Format, Int8Spec]
+AnyFormatLike = Union[str, FP8Format, Int8Spec]
 
 
 def _resolve(fmt: FormatLike) -> FP8Format:
     if isinstance(fmt, FP8Format):
         return fmt
+    return get_format(fmt)
+
+
+def _resolve_storage(fmt: AnyFormatLike) -> StorageFormat:
+    """Resolve a format name to either an FP8 format or an INT8 spec."""
+    if isinstance(fmt, (FP8Format, Int8Spec)):
+        return fmt
+    for spec_name, spec in INT8_SPEC_REGISTRY.items():
+        if fmt.lower() == spec_name.lower():
+            return spec
     return get_format(fmt)
 
 
@@ -83,6 +123,12 @@ def compute_scale(
 ) -> np.ndarray:
     """Compute the max-scaling factor ``s = float_max / max_T`` (paper Eq. 2).
 
+    The reduction runs on the tensor's native dtype in a single pass (see
+    :func:`repro.fp8.kernels.channel_absmax`); only the reduced absmax is
+    promoted to float64.  Non-finite absmax entries (an all-NaN channel, inf
+    from overflowed calibration) map to scale 1.0 with a warning instead of
+    poisoning every element that shares the scale.
+
     Parameters
     ----------
     x:
@@ -106,18 +152,8 @@ def compute_scale(
     """
     fmt = _resolve(fmt)
     if absmax is None:
-        x = np.asarray(x, dtype=np.float64)
-        if axis is None:
-            absmax = np.max(np.abs(x)) if x.size else np.asarray(0.0)
-        else:
-            channel_axes = (axis,) if isinstance(axis, int) else tuple(axis)
-            channel_axes = tuple(a % x.ndim for a in channel_axes)
-            reduce_axes = tuple(a for a in range(x.ndim) if a not in channel_axes)
-            absmax = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
-    absmax = np.asarray(absmax, dtype=np.float64)
-    absmax = np.maximum(absmax, eps)
-    scale = fmt.max_value / absmax
-    return scale
+        absmax = kernels.channel_absmax(x, axis)
+    return kernels.absmax_to_scale(absmax, fmt.max_value, eps=eps)
 
 
 def quantize_to_fp8(
@@ -128,7 +164,8 @@ def quantize_to_fp8(
     """Quantize ``x`` into the FP8 grid (returns values still scaled by ``scale``).
 
     ``q = fp8_round(x * scale)``.  Use :func:`quantize_dequantize` for the
-    round-trip used by emulated inference.
+    round-trip used by emulated inference, or :meth:`QuantizedTensor.quantize`
+    for packed 8-bit storage.
     """
     fmt = _resolve(fmt)
     x = np.asarray(x, dtype=np.float64)
@@ -149,6 +186,10 @@ def quantize_dequantize(
     :mod:`repro.quantization`: compute stays in FP32 but the values have been
     forced onto the 8-bit grid, exactly as in the paper's emulation framework.
 
+    When ``scale`` is None the whole absmax → scale → round → rescale chain
+    runs as one fused per-axis kernel call
+    (:func:`repro.fp8.kernels.quantize_dequantize_axis`).
+
     Parameters
     ----------
     x:
@@ -164,7 +205,7 @@ def quantize_dequantize(
     """
     fmt = _resolve(fmt)
     if scale is None:
-        scale = compute_scale(x, fmt, axis=axis)
+        return kernels.quantize_dequantize_axis(x, fmt, axis=axis)
     scale = np.asarray(scale, dtype=np.float64)
     if kernels.get_active_kernel() == "fast":
         return kernels.quantize_dequantize_fused(x, fmt, scale)
@@ -175,37 +216,147 @@ def quantize_dequantize(
 
 @dataclass
 class QuantizedTensor:
-    """A tensor stored on the FP8 grid together with its scale.
+    """A tensor packed into real 8-bit storage together with its scale.
 
-    ``dequantize()`` returns ``values / scale``; ``values`` are FP32 numbers
-    that lie exactly on the target format's grid (scaled domain).
+    ``codes`` holds one byte per element: raw FP8 codes (``uint8``) for FP8
+    formats, signed integer codes (``int8``) for INT8 specs.  ``scale`` (and
+    ``zero_point`` for asymmetric INT8) keep their reduced per-tensor or
+    per-channel ``keepdims`` shape.  ``dequantize()`` re-materialises the
+    float32 values through the fused decode → rescale kernel; the packed codes
+    stay authoritative, so the float32 view can be recomputed (or dropped) at
+    any time.  See the module docstring for the full memory model.
     """
 
-    values: np.ndarray
+    codes: np.ndarray
     scale: np.ndarray
-    fmt: FP8Format
+    fmt: StorageFormat
+    zero_point: Optional[np.ndarray] = None
 
+    @property
+    def is_fp8(self) -> bool:
+        return isinstance(self.fmt, FP8Format)
+
+    # ------------------------------------------------------------------
+    # construction / round trip
+    # ------------------------------------------------------------------
     @classmethod
     def quantize(
         cls,
         x: np.ndarray,
-        fmt: FormatLike,
+        fmt: AnyFormatLike,
         axis: Optional[Union[int, Sequence[int]]] = None,
         scale: Optional[np.ndarray] = None,
+        absmax: Optional[np.ndarray] = None,
+        zero_point: Optional[np.ndarray] = None,
+        min_val: Optional[np.ndarray] = None,
+        max_val: Optional[np.ndarray] = None,
     ) -> "QuantizedTensor":
-        fmt = _resolve(fmt)
-        if scale is None:
-            scale = compute_scale(x, fmt, axis=axis)
-        scale = np.asarray(scale, dtype=np.float64)
-        values = fp8_round(np.asarray(x, dtype=np.float64) * scale, fmt)
-        return cls(values=values, scale=scale, fmt=fmt)
+        """Pack ``x`` into 8-bit codes through the fused per-axis kernels.
+
+        The input stays in its native float width end to end (no float64 copy
+        of the tensor is made) and the encode dispatches through the active
+        kernel, consistent with :func:`quantize_dequantize`: for any input,
+        ``QuantizedTensor.quantize(x, fmt, axis=a).dequantize()`` equals
+        ``quantize_dequantize(x, fmt, axis=a)`` bit for bit (modulo the sign
+        of zeros — see the module docstring).
+
+        ``scale``/``absmax`` (FP8) or ``scale``+``zero_point`` /
+        ``min_val``/``max_val`` (INT8) inject calibrated parameters; when
+        omitted they are computed from ``x`` in the same fused call.
+        """
+        fmt = _resolve_storage(fmt)
+        if isinstance(fmt, Int8Spec):
+            codes, scale, zero_point = int8_quantize_channelwise(
+                x,
+                spec=fmt,
+                axis=axis,
+                scale=scale,
+                zero_point=zero_point,
+                min_val=min_val,
+                max_val=max_val,
+            )
+            return cls(codes=codes, scale=scale, fmt=fmt, zero_point=zero_point)
+        codes, scale = kernels.fp8_quantize_channelwise(
+            x, fmt, axis=axis, absmax=absmax, scale=scale
+        )
+        return cls(codes=codes, scale=scale, fmt=fmt)
 
     def dequantize(self) -> np.ndarray:
-        return (self.values / self.scale).astype(np.float32)
+        """Decode the packed codes back to float32 (fused decode → rescale)."""
+        if self.is_fp8:
+            return kernels.fp8_dequantize_channelwise(self.codes, self.fmt, self.scale)
+        return int8_dequantize_channelwise(self.codes, self.scale, self.zero_point)
 
+    # ------------------------------------------------------------------
+    # shape / storage introspection
+    # ------------------------------------------------------------------
     @property
     def shape(self):
-        return self.values.shape
+        return self.codes.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.codes.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the packed codes (uint8 for FP8, int8 for INT8)."""
+        return self.codes.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Total packed bytes at rest: codes + scale (+ zero point)."""
+        total = self.codes.nbytes + np.asarray(self.scale).nbytes
+        if self.zero_point is not None:
+            total += np.asarray(self.zero_point).nbytes
+        return int(total)
+
+    @property
+    def nbytes_dense(self) -> int:
+        """Bytes the same tensor would occupy as dense float32."""
+        return self.size * 4
+
+    @property
+    def compression_ratio(self) -> float:
+        """Packed bytes as a fraction of dense float32 bytes (~0.25)."""
+        return self.nbytes / self.nbytes_dense if self.size else 1.0
+
+    # ------------------------------------------------------------------
+    # state-dict round trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serialise to plain numpy arrays (invertible via :meth:`from_state_dict`)."""
+        state = {
+            "codes": self.codes,
+            "scale": np.asarray(self.scale),
+            "format": np.asarray(self.fmt.name),
+        }
+        if self.zero_point is not None:
+            state["zero_point"] = np.asarray(self.zero_point)
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "QuantizedTensor":
+        """Rebuild a packed tensor from :meth:`state_dict` output."""
+        fmt = _resolve_storage(str(state["format"]))
+        codes = np.asarray(state["codes"], dtype=np.int8 if isinstance(fmt, Int8Spec) else np.uint8)
+        return cls(
+            codes=codes,
+            scale=np.asarray(state["scale"], dtype=np.float64),
+            fmt=fmt,
+            zero_point=(
+                np.asarray(state["zero_point"], dtype=np.int8)
+                if "zero_point" in state
+                else None
+            ),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"QuantizedTensor(shape={self.values.shape}, fmt={self.fmt.name})"
+        return (
+            f"QuantizedTensor(shape={self.codes.shape}, fmt={self.fmt.name}, "
+            f"packed={self.nbytes}B, {self.compression_ratio:.2f}x of fp32)"
+        )

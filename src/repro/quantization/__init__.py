@@ -54,6 +54,7 @@ from repro.quantization.workflow import (
     calibrate_model,
     convert_model,
     quantize_model,
+    storage_report,
 )
 from repro.quantization.bn_calibration import calibrate_batchnorm
 from repro.quantization.smoothquant import apply_smoothquant
@@ -97,6 +98,7 @@ __all__ = [
     "calibrate_model",
     "convert_model",
     "quantize_model",
+    "storage_report",
     "calibrate_batchnorm",
     "apply_smoothquant",
     "assign_mixed_formats",

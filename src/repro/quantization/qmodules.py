@@ -1,4 +1,4 @@
-"""Quantized operator wrappers (Q/DQ emulation).
+"""Quantized operator wrappers (Q/DQ emulation over packed 8-bit storage).
 
 Quantization is emulated exactly as in the paper's framework: the wrapped
 operator still computes in FP32, but its weights are rounded onto the 8-bit
@@ -7,6 +7,17 @@ forward call (with a scale that is either calibrated offline — *static* — or
 computed from the batch — *dynamic*).  Each wrapper keeps the original float
 module as a submodule, so parameter traversal, state dicts and repr all keep
 working after conversion.
+
+Weight storage follows the packed memory model of :mod:`repro.fp8.quantize`:
+``convert()`` packs the weight **once** into a
+:class:`~repro.fp8.quantize.QuantizedTensor` (one byte per element plus
+per-channel scales) and never writes into the original float32 array.  The
+float32 view the wrapped operator computes with is dequantized from the
+packed codes and cached; :meth:`QuantizedModule.drop_weight_cache` releases
+it again (the packed codes stay authoritative and the next forward
+re-materialises it), and ``restore()`` re-binds the pristine original.  Activation Q/DQ routes through the
+fused per-axis kernels (one absmax → scale → round → rescale call per tensor,
+no materialised broadcast scale arrays).
 """
 
 from __future__ import annotations
@@ -17,7 +28,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.fp8.int8 import int8_compute_qparams, int8_quantize_dequantize
-from repro.fp8.quantize import compute_scale, quantize_dequantize
+from repro.fp8.quantize import QuantizedTensor, compute_scale, quantize_dequantize
 from repro.nn.attention import BatchMatMul
 from repro.nn.elementwise import Add, Mul
 from repro.nn.layers import Conv2d, Embedding, EmbeddingBag, Linear
@@ -106,14 +117,12 @@ class TensorQuantizer:
         if fmt.is_fp8:
             fp8 = fmt.fp8_format()
             if self.config.approach is Approach.DIRECT:
-                scale = np.asarray(1.0)
-            elif self.config.approach is Approach.DYNAMIC or not self.frozen:
-                scale = compute_scale(x, fp8, axis=self.channel_axis)
-            else:
-                absmax = self._reshape_channelwise(np.asarray(self._absmax), x.ndim)
-                scale = compute_scale(x, fp8, absmax=absmax)
-            # quantize_dequantize runs the fused scale→round→rescale kernel
-            # when the fast FP8 kernel is active (see repro.fp8.kernels).
+                return quantize_dequantize(x, fp8, scale=np.asarray(1.0))
+            if self.config.approach is Approach.DYNAMIC or not self.frozen:
+                # one fused absmax→scale→round→rescale kernel call per tensor
+                return quantize_dequantize(x, fp8, axis=self.channel_axis)
+            absmax = self._reshape_channelwise(np.asarray(self._absmax), x.ndim)
+            scale = compute_scale(x, fp8, absmax=absmax)
             return quantize_dequantize(x, fp8, scale=scale)
 
         # INT8 path
@@ -127,6 +136,37 @@ class TensorQuantizer:
                 x, spec=spec, axis=self.channel_axis, min_val=min_val, max_val=max_val
             )
         return int8_quantize_dequantize(x, spec=spec, scale=scale, zero_point=zero_point)
+
+    def quantize_packed(self, x: np.ndarray) -> Optional[QuantizedTensor]:
+        """Pack ``x`` into real 8-bit storage (codes + scales) — the weight path.
+
+        Returns ``None`` for a disabled (FP32) config.  Calibrated parameters
+        are honoured exactly like :meth:`quantize`, and the resulting packed
+        tensor dequantizes bit-identically to the values :meth:`quantize`
+        produces, so swapping storage does not move any benchmark number.
+        """
+        if not self.config.enabled:
+            return None
+        x = np.asarray(x, dtype=np.float32)
+        fmt = self.config.fmt
+
+        if fmt.is_fp8:
+            fp8 = fmt.fp8_format()
+            if self.config.approach is Approach.DIRECT:
+                return QuantizedTensor.quantize(x, fp8, scale=np.asarray(1.0))
+            if self.config.approach is Approach.DYNAMIC or not self.frozen or self._absmax is None:
+                return QuantizedTensor.quantize(x, fp8, axis=self.channel_axis)
+            absmax = self._reshape_channelwise(np.asarray(self._absmax), x.ndim)
+            return QuantizedTensor.quantize(x, fp8, absmax=absmax)
+
+        spec = fmt.int8_spec()
+        if self.config.approach is Approach.DYNAMIC or not self.frozen or self._min is None:
+            return QuantizedTensor.quantize(x, spec, axis=self.channel_axis)
+        min_val = self._reshape_channelwise(np.asarray(self._min), x.ndim)
+        max_val = self._reshape_channelwise(np.asarray(self._max), x.ndim)
+        return QuantizedTensor.quantize(
+            x, spec, axis=self.channel_axis, min_val=min_val, max_val=max_val
+        )
 
     def describe(self) -> dict:
         return {
@@ -163,6 +203,11 @@ class QuantizedModule(Module):
             self.weight_quantizer = TensorQuantizer(
                 config.weight, channel_axis=self.weight_channel_axis
             )
+        #: packed 8-bit storage of record for the quantized weight
+        self.weight_q: Optional[QuantizedTensor] = None
+        #: lazily dequantized float32 compute view of ``weight_q``
+        self._weight_cache: Optional[np.ndarray] = None
+        #: the pristine original float32 weight array (never written to)
         self._original_weight: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -175,25 +220,87 @@ class QuantizedModule(Module):
         self.observing = False
 
     def convert(self) -> None:
-        """Freeze activation ranges and quantize the weight in place."""
+        """Freeze activation ranges and pack the weight into 8-bit storage.
+
+        Idempotent: a second ``convert()`` on an already-converted module is a
+        no-op.  (It used to re-snapshot ``inner.weight`` — by then already
+        quantized — clobbering the original and turning ``restore()`` into a
+        no-op.)  ``convert()`` after ``restore()`` re-converts from the
+        restored original as before.
+        """
+        if self.quantizing:
+            self.observing = False
+            return
         for quantizer, fallback in zip(self.input_quantizers, self._calibration_fallbacks()):
             quantizer.freeze(fallback=fallback)
         if self.weight_quantizer is not None:
             weight = self.inner.weight.data
-            self._original_weight = weight.copy()
-            self.inner.weight.data[...] = self.weight_quantizer.quantize(weight)
+            self.weight_q = self.weight_quantizer.quantize_packed(weight)
+            if self.weight_q is not None:
+                # Snapshot by copy: external in-place writes to the bound
+                # weight (e.g. load_state_dict) must not corrupt the pristine
+                # original that restore() hands back.
+                self._original_weight = weight.copy()
+                self._weight_cache = None
         self.observing = False
         self.quantizing = True
+        # Bind the dequantized view now so the module's visible weights (repr,
+        # state_dict) are the quantized ones from the moment of conversion;
+        # drop_weight_cache() returns to the packed-at-rest state.
+        self._bind_weight()
 
     def restore(self) -> None:
         """Undo weight quantization (used by the tuning loop when falling back to FP32)."""
         if self._original_weight is not None:
-            self.inner.weight.data[...] = self._original_weight
+            self.inner.weight.data = self._original_weight
+        self._original_weight = None
+        self._weight_cache = None
+        self.weight_q = None
         self.quantizing = False
 
     def _calibration_fallbacks(self) -> Sequence[Optional[np.ndarray]]:
         """Per-input fallback data for freezing without calibration (weights only)."""
         return [None] * self.num_inputs
+
+    # ------------------------------------------------------------------
+    # packed weight plumbing
+    # ------------------------------------------------------------------
+    def quantized_weight(self) -> Optional[np.ndarray]:
+        """The float32 compute view of the packed weight (dequantized on demand, cached)."""
+        if self.weight_q is None:
+            return None
+        if self._weight_cache is None:
+            self._weight_cache = self.weight_q.dequantize()
+        return self._weight_cache
+
+    def _bind_weight(self) -> None:
+        """Point ``inner.weight`` at the dequantized view while quantizing."""
+        if not self.quantizing or self.weight_q is None:
+            return
+        cache = self.quantized_weight()
+        if self.inner.weight.data is not cache:
+            self.inner.weight.data = cache
+
+    def drop_weight_cache(self) -> None:
+        """Release the float32 weight view; packed codes stay authoritative.
+
+        The next quantized forward re-materialises it.  Between the drop and
+        that forward the wrapper holds only the packed bytes (plus the
+        original float32 array, until/unless ``restore()`` gives it back).
+        """
+        if self._weight_cache is not None and self._original_weight is not None:
+            self.inner.weight.data = self._original_weight
+        self._weight_cache = None
+
+    def weight_storage_nbytes(self) -> Optional[dict]:
+        """Packed vs dense byte counts for the quantized weight (None if unquantized)."""
+        if self.weight_q is None:
+            return None
+        return {
+            "packed_bytes": self.weight_q.nbytes,
+            "fp32_bytes": self.weight_q.nbytes_dense,
+            "ratio": self.weight_q.compression_ratio,
+        }
 
     # ------------------------------------------------------------------
     def _process_inputs(self, inputs):
@@ -208,6 +315,7 @@ class QuantizedModule(Module):
         return processed
 
     def forward(self, *inputs, **kwargs):
+        self._bind_weight()
         return self.inner(*self._process_inputs(inputs), **kwargs)
 
     def extra_repr(self) -> str:
@@ -240,6 +348,7 @@ class QuantizedEmbedding(QuantizedModule):
     has_weight = True
 
     def forward(self, indices, **kwargs):
+        self._bind_weight()
         return self.inner(indices, **kwargs)
 
 

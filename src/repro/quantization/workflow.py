@@ -35,6 +35,7 @@ __all__ = [
     "calibrate_model",
     "convert_model",
     "quantize_model",
+    "storage_report",
     "find_first_last_operators",
     "clone_module",
 ]
@@ -75,10 +76,21 @@ class QuantizationResult:
     skipped_modules: List[str] = field(default_factory=list)
     smoothquant_applied: bool = False
     batchnorm_calibrated: bool = False
+    #: bytes of packed 8-bit weight storage (codes + scales) across all wrappers
+    weight_bytes_packed: int = 0
+    #: bytes the same weights occupy as dense float32
+    weight_bytes_fp32: int = 0
 
     @property
     def num_quantized(self) -> int:
         return len(self.quantized_modules)
+
+    @property
+    def weight_compression_ratio(self) -> Optional[float]:
+        """Packed weight bytes as a fraction of float32 bytes (None if nothing packed)."""
+        if not self.weight_bytes_fp32:
+            return None
+        return self.weight_bytes_packed / self.weight_bytes_fp32
 
     def summary(self) -> str:
         lines = [
@@ -88,6 +100,12 @@ class QuantizationResult:
             f"smoothquant: {self.smoothquant_applied}",
             f"batchnorm calibration: {self.batchnorm_calibrated}",
         ]
+        ratio = self.weight_compression_ratio
+        if ratio is not None:
+            lines.append(
+                f"packed weight storage: {self.weight_bytes_packed / 1024:.1f} KiB "
+                f"({ratio:.2f}x of {self.weight_bytes_fp32 / 1024:.1f} KiB fp32)"
+            )
         return "\n".join(lines)
 
 
@@ -192,6 +210,30 @@ def convert_model(model: Module) -> List[str]:
     return converted
 
 
+def storage_report(model: Module) -> List[dict]:
+    """Per-module packed weight storage for a converted model.
+
+    One row per quantized wrapper holding a packed weight: module name,
+    storage format, packed bytes (codes + scales), dense float32 bytes and
+    their ratio.  Feeds the workflow summary and
+    ``benchmarks/bench_memory_footprint.py``.
+    """
+    rows = []
+    for name, module in model.named_modules():
+        if isinstance(module, QuantizedModule) and module.weight_q is not None:
+            stats = module.weight_storage_nbytes()
+            rows.append(
+                {
+                    "module": name,
+                    "format": module.weight_q.fmt.name,
+                    "packed_bytes": stats["packed_bytes"],
+                    "fp32_bytes": stats["fp32_bytes"],
+                    "ratio": stats["ratio"],
+                }
+            )
+    return rows
+
+
 def quantize_model(
     model: Module,
     recipe: QuantizationRecipe,
@@ -261,6 +303,10 @@ def quantize_model(
         if isinstance(module, QuantizedModule):
             module.stop_observing()
     convert_model(target)
+
+    for row in storage_report(target):
+        result.weight_bytes_packed += row["packed_bytes"]
+        result.weight_bytes_fp32 += row["fp32_bytes"]
 
     if recipe.batchnorm_calibration:
         data = bn_calibration_data if bn_calibration_data is not None else calibration_data

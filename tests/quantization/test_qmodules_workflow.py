@@ -21,7 +21,7 @@ from repro.quantization import (
 )
 from repro.quantization.qconfig import Granularity, OperatorQuantConfig, TensorQuantConfig
 from repro.quantization.qmodules import TensorQuantizer, wrap_module
-from repro.quantization.workflow import clone_module, find_first_last_operators
+from repro.quantization.workflow import clone_module, find_first_last_operators, storage_report
 from repro.fp8 import E4M3
 
 
@@ -94,6 +94,10 @@ class TestQuantizedWrappers:
         wrapped.start_observing()
         wrapped(Tensor(np.random.default_rng(1).standard_normal((4, 8)).astype(np.float32)))
         wrapped.convert()
+        # convert packs the weight into 8-bit storage and binds the dequantized
+        # float32 compute view over the (pristine) original
+        assert wrapped.weight_q is not None
+        assert wrapped.weight_q.codes.dtype == np.uint8
         assert not np.array_equal(linear.weight.data, original)
         grid = E4M3.positive_values
         scale = E4M3.max_value / np.abs(original).max(axis=1, keepdims=True)
@@ -108,8 +112,99 @@ class TestQuantizedWrappers:
         wrapped.start_observing()
         wrapped(Tensor(np.ones((2, 8), dtype=np.float32)))
         wrapped.convert()
+        wrapped(Tensor(np.ones((2, 8), dtype=np.float32)))  # binds the quantized view
         wrapped.restore()
         assert np.array_equal(linear.weight.data, original)
+        assert wrapped.weight_q is None
+
+    def test_convert_twice_keeps_original_weight(self):
+        # Regression: a second convert() used to snapshot the already-quantized
+        # weight as "_original_weight", turning restore() into a no-op.
+        linear = nn.Linear(8, 4, rng=np.random.default_rng(0))
+        original = linear.weight.data.copy()
+        wrapped = wrap_module("Linear", linear, _op_config())
+        wrapped.start_observing()
+        wrapped(Tensor(np.ones((2, 8), dtype=np.float32)))
+        wrapped.convert()
+        wrapped(Tensor(np.ones((2, 8), dtype=np.float32)))
+        wrapped.convert()  # idempotent no-op
+        wrapped.restore()
+        assert np.array_equal(linear.weight.data, original)
+
+    def test_convert_after_restore_requantizes(self):
+        linear = nn.Linear(8, 4, rng=np.random.default_rng(0))
+        wrapped = wrap_module("Linear", linear, _op_config())
+        wrapped.start_observing()
+        wrapped(Tensor(np.ones((2, 8), dtype=np.float32)))
+        wrapped.convert()
+        first = wrapped.quantized_weight().copy()
+        wrapped.restore()
+        wrapped.convert()
+        assert wrapped.quantizing and wrapped.weight_q is not None
+        assert np.array_equal(wrapped.quantized_weight(), first)
+
+    def test_drop_weight_cache_rematerializes(self):
+        linear = nn.Linear(8, 4, rng=np.random.default_rng(0))
+        original = linear.weight.data.copy()
+        wrapped = wrap_module("Linear", linear, _op_config())
+        wrapped.start_observing()
+        x = Tensor(np.ones((2, 8), dtype=np.float32))
+        wrapped(x)
+        wrapped.convert()
+        out_before = wrapped(x).data
+        wrapped.drop_weight_cache()
+        # with the cache dropped, the original float values are bound again ...
+        assert np.array_equal(linear.weight.data, original)
+        # ... and the next quantized forward re-materialises the same view
+        out_after = wrapped(x).data
+        assert np.array_equal(out_before, out_after)
+
+    def test_load_state_dict_after_convert_does_not_corrupt_original(self):
+        # Regression for the by-reference snapshot: writing into the bound
+        # weight (load_state_dict does an in-place copy) must not leak into
+        # the original that restore() returns.
+        model = nn.Sequential(nn.Linear(8, 4, rng=np.random.default_rng(0)))
+        model.eval()
+        original = model.get_submodule("0").weight.data.copy()
+        result = quantize_model(
+            model, standard_recipe("E4M3", approach=Approach.DYNAMIC), inplace=True
+        )
+        state = {name: np.zeros_like(p.data) for name, p in model.named_parameters()}
+        model.load_state_dict(state, strict=False)
+        wrapper = result.model.get_submodule("0")
+        wrapper.restore()
+        assert np.array_equal(wrapper.inner.weight.data, original)
+
+    def test_state_dict_sees_quantized_weights_right_after_convert(self):
+        model = nn.Sequential(nn.Linear(8, 4, rng=np.random.default_rng(0)))
+        model.eval()
+        original = model.get_submodule("0").weight.data.copy()
+        result = quantize_model(
+            model, standard_recipe("E4M3", approach=Approach.DYNAMIC), inplace=True
+        )
+        state = result.model.state_dict()
+        key = next(k for k in state if k.endswith("weight"))
+        # no forward has run, yet the snapshot already holds the quantized view
+        assert not np.array_equal(state[key], original)
+        wrapper = result.model.get_submodule("0")
+        assert np.array_equal(state[key], wrapper.quantized_weight())
+
+    def test_packed_weight_storage_is_quarter_of_fp32(self):
+        linear = nn.Linear(64, 64, rng=np.random.default_rng(0))
+        wrapped = wrap_module("Linear", linear, _op_config(approach=Approach.DYNAMIC))
+        wrapped.convert()
+        stats = wrapped.weight_storage_nbytes()
+        assert stats["fp32_bytes"] == 64 * 64 * 4
+        assert stats["packed_bytes"] <= 0.3 * stats["fp32_bytes"]
+
+    def test_packed_weight_matches_inplace_qdq(self):
+        # the packed storage must dequantize to exactly the values the old
+        # in-place Q/DQ wrote into inner.weight.data
+        linear = nn.Linear(16, 8, rng=np.random.default_rng(5))
+        wrapped = wrap_module("Linear", linear, _op_config(approach=Approach.DYNAMIC))
+        wrapped.convert()
+        expected = wrapped.weight_quantizer.quantize(linear.weight.data)
+        assert np.array_equal(wrapped.quantized_weight(), expected)
 
     def test_embedding_wrapper_has_no_input_quantizer(self):
         emb = nn.Embedding(10, 4)
@@ -256,6 +351,28 @@ class TestWorkflow:
         model.eval()
         result = quantize_model(model, standard_recipe("E4M3", approach=Approach.DYNAMIC))
         assert "quantized operators" in result.summary()
+
+    def test_quantize_model_reports_packed_storage(self):
+        model = nn.Sequential(nn.Linear(64, 64), nn.ReLU(), nn.Linear(64, 64))
+        model.eval()
+        result = quantize_model(model, standard_recipe("E4M3", approach=Approach.DYNAMIC))
+        assert result.weight_bytes_fp32 == 2 * 64 * 64 * 4
+        assert 0 < result.weight_bytes_packed <= 0.3 * result.weight_bytes_fp32
+        assert result.weight_compression_ratio == pytest.approx(
+            result.weight_bytes_packed / result.weight_bytes_fp32
+        )
+        assert "packed weight storage" in result.summary()
+        rows = storage_report(result.model)
+        assert len(rows) == 2
+        assert all(r["format"] == "E4M3" for r in rows)
+
+    def test_int8_recipe_packs_int8_codes(self):
+        model = nn.Sequential(nn.Linear(64, 64))
+        model.eval()
+        result = quantize_model(model, int8_recipe(approach=Approach.DYNAMIC))
+        wrapper = result.model.get_submodule("0")
+        assert wrapper.weight_q.codes.dtype == np.int8
+        assert result.weight_bytes_packed <= 0.3 * result.weight_bytes_fp32
 
     def test_clone_module_is_independent(self):
         model = nn.Sequential(nn.Linear(4, 2))
