@@ -1,11 +1,9 @@
 """Figure 6 (and Appendix A.2) — generation quality (FID proxy) of the quantized denoiser."""
 
-import numpy as np
 
 from repro.evaluation.fid import fid_proxy
 from repro.evaluation.reporting import format_table
 from repro.quantization import Approach, int8_recipe, quantize_model, standard_recipe
-from repro.quantization.qconfig import QuantizationRecipe
 
 
 def generation_configs():

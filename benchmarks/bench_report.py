@@ -1,0 +1,43 @@
+"""Perf-trajectory artifact: merge benchmark numbers into one BENCH_PR.json.
+
+CI sets ``REPRO_BENCH_JSON`` to a file path before running the bench jobs;
+every benchmark calls :func:`record` with its section name and a JSON-safe
+payload, and the file accumulates a single diffable snapshot (kernel
+throughput, storage ratios, serving-path numbers) that
+``actions/upload-artifact`` preserves per PR.  Without the environment
+variable set, :func:`record` is a no-op so local runs behave as before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+
+def record(section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` into ``$REPRO_BENCH_JSON`` (if set)."""
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    if "env" not in data:
+        import numpy as np
+
+        data["env"] = {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "fp8_kernel": os.environ.get("REPRO_FP8_KERNEL", "fast"),
+        }
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,6 +1,5 @@
 """Table 4 / Appendix A.3 — text generation quality of the quantized causal LM."""
 
-import numpy as np
 
 from repro.evaluation.reporting import format_table
 from repro.evaluation.textgen import evaluate_generation_quality

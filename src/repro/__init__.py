@@ -15,6 +15,9 @@ The package is organised as:
     SmoothQuant, mixed FP8 formats, dynamic quantization, auto-tuning).
 ``repro.evaluation``
     The experiment harness that regenerates every table and figure.
+``repro.serialization``
+    Packed single-file checkpoints: save/load converted models without ever
+    materialising float32 weights, for restore-free deployment serving.
 """
 
 from repro import fp8

@@ -10,7 +10,7 @@ in Table 2, Table 3, Figure 4 and Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

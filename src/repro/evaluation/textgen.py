@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.models.transformer import GPTStyleLM
-from repro.utils.seeding import RngLike, seeded_rng
+from repro.utils.seeding import RngLike
 
 __all__ = [
     "repetition_rate",

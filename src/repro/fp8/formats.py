@@ -29,7 +29,7 @@ round-to-nearest-even tie breaking) which the quantizer in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict
 

@@ -287,6 +287,35 @@ class QuantizedTensor:
             return kernels.fp8_dequantize_channelwise(self.codes, self.fmt, self.scale)
         return int8_dequantize_channelwise(self.codes, self.scale, self.zero_point)
 
+    def dequantize_block(self, start: int, stop: int, axis: int = 0) -> np.ndarray:
+        """Decode only codes ``[start:stop)`` along ``axis`` to float32.
+
+        This is the streaming-serving primitive: a decode-on-the-fly matmul
+        walks the packed weight in channel blocks, so at no point does a full
+        dense float32 copy of the tensor exist — only ``stop - start``
+        channels' worth of transient decode output.  Per-channel scales (and
+        zero points) are sliced alongside the codes when they vary over
+        ``axis``; the result is bit-identical to ``dequantize()[start:stop]``
+        because decode → rescale is element-wise.
+        """
+        index = [slice(None)] * self.ndim
+        index[axis] = slice(start, stop)
+        index = tuple(index)
+        codes = self.codes[index]
+
+        def _slice_param(param: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            if param is None:
+                return None
+            param = np.asarray(param)
+            if param.ndim == self.ndim and param.shape[axis] != 1:
+                return param[index]
+            return param
+
+        scale = _slice_param(self.scale)
+        if self.is_fp8:
+            return kernels.fp8_dequantize_channelwise(codes, self.fmt, scale)
+        return int8_dequantize_channelwise(codes, scale, _slice_param(self.zero_point))
+
     # ------------------------------------------------------------------
     # shape / storage introspection
     # ------------------------------------------------------------------

@@ -20,10 +20,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
-
 import repro.nn as nn
-from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.utils.seeding import RngLike, seeded_rng
 

@@ -23,7 +23,7 @@ transformation, which is why it recovers INT8 accuracy on these models.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

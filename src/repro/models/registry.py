@@ -14,7 +14,7 @@ transformers, recommendation, audio, segmentation and generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -46,7 +46,6 @@ from repro.models.outliers import inject_nlp_outliers
 from repro.models.transformer import BertStyleClassifier, GPTStyleLM, ViTStyleClassifier
 from repro.models.unet import TinyUNet
 from repro.nn.module import Module
-from repro.nn.norm import BatchNorm1d, BatchNorm2d
 from repro.training.cache import default_cache
 from repro.training.trainer import TrainConfig, evaluate_model, train_model
 from repro.utils.logging import get_logger

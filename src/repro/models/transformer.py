@@ -15,7 +15,6 @@ from typing import Optional
 import numpy as np
 
 import repro.nn as nn
-from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.utils.seeding import RngLike, seeded_rng
 

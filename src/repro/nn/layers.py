@@ -8,7 +8,7 @@ axis 0, so per-channel weight scaling reduces over every remaining axis.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

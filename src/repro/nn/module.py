@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "EXTRA_STATE_KEY"]
+
+#: state-dict key suffix under which a module's :meth:`Module.get_extra_state`
+#: payload is stored (``<module-path>._extra_state``)
+EXTRA_STATE_KEY = "_extra_state"
 
 
 class Parameter(Tensor):
@@ -151,25 +155,91 @@ class Module:
     # ------------------------------------------------------------------
     # state dict
     # ------------------------------------------------------------------
+    def get_extra_state(self):
+        """Module-local state composed into :meth:`state_dict` beyond params/buffers.
+
+        Return ``None`` (the default) for no extra state, or a JSON-like tree
+        (nested dicts/lists of numpy arrays, scalars and strings).  The payload
+        is stored under ``<module-path>._extra_state`` and handed back to
+        :meth:`set_extra_state` by :meth:`load_state_dict`.  The quantization
+        wrappers use this to carry packed 8-bit weight storage and calibrated
+        activation ranges through checkpoints without materialising float32.
+        """
+        return None
+
+    def set_extra_state(self, state) -> None:
+        """Restore the payload produced by :meth:`get_extra_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} received extra state but does not implement set_extra_state()"
+        )
+
+    def state_dict_excluded_keys(self) -> Tuple[str, ...]:
+        """Module-local parameter/buffer names omitted from :meth:`state_dict`.
+
+        Deployed quantization wrappers exclude their bound weight view here:
+        the packed codes in the extra state are the storage of record and the
+        float32 view must never be materialised just to snapshot it.
+        """
+        return ()
+
+    def _excluded_state_keys(self) -> set:
+        excluded = set()
+        for name, module in self.named_modules():
+            for local in module.state_dict_excluded_keys():
+                excluded.add(f"{name}.{local}" if name else local)
+        return excluded
+
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Snapshot of all parameters and buffers as (copied) numpy arrays."""
+        """Snapshot of all parameters and buffers as (copied) numpy arrays.
+
+        Modules that define :meth:`get_extra_state` contribute one additional
+        ``<module-path>._extra_state`` entry holding their payload tree.
+        """
         state: Dict[str, np.ndarray] = {}
+        excluded = self._excluded_state_keys()
         for name, param in self.named_parameters():
-            state[name] = param.data.copy()
+            if name not in excluded:
+                state[name] = param.data.copy()
         for name, buf in self.named_buffers():
-            state[name] = buf.copy()
+            if name not in excluded:
+                state[name] = buf.copy()
+        for name, module in self.named_modules():
+            extra = module.get_extra_state()
+            if extra is not None:
+                state[f"{name}.{EXTRA_STATE_KEY}" if name else EXTRA_STATE_KEY] = extra
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load parameters and buffers (in place) from :meth:`state_dict` output."""
+        """Load parameters and buffers (in place) from :meth:`state_dict` output.
+
+        ``_extra_state`` entries are routed to the owning module's
+        :meth:`set_extra_state` *after* all plain arrays have been written, so
+        packed storage restored from extra state wins over any float view of
+        the same weight that was also in the dict.
+        """
         params = dict(self.named_parameters())
         buffers = {name: (owner, key) for owner, name, key in self._iter_buffer_owners()}
+        modules = dict(self.named_modules())
         missing: List[str] = []
+        extras: List[Tuple[Module, object]] = []
         for name, value in state.items():
+            if name == EXTRA_STATE_KEY or name.endswith(f".{EXTRA_STATE_KEY}"):
+                owner_path = name[: -len(EXTRA_STATE_KEY)].rstrip(".")
+                if owner_path in modules:
+                    extras.append((modules[owner_path], value))
+                elif strict:
+                    missing.append(name)
+                continue
             if name in params:
                 if params[name].shape != value.shape:
                     raise ValueError(
                         f"shape mismatch for {name}: model {params[name].shape} vs state {value.shape}"
+                    )
+                if not params[name].data.flags.writeable:
+                    raise RuntimeError(
+                        f"cannot load {name}: the parameter is a read-only deployment "
+                        "placeholder (the model was deployed restore-free; load packed "
+                        "checkpoints with repro.serialization.load_quantized instead)"
                     )
                 params[name].data[...] = value
             elif name in buffers:
@@ -179,6 +249,8 @@ class Module:
                 missing.append(name)
         if strict and missing:
             raise KeyError(f"unexpected keys in state dict: {missing}")
+        for module, value in extras:
+            module.set_extra_state(value)
 
     def _iter_buffer_owners(self, prefix: str = "") -> Iterator[Tuple["Module", str, str]]:
         for key in self._buffers:

@@ -54,7 +54,11 @@ from repro.quantization.workflow import (
     calibrate_model,
     convert_model,
     quantize_model,
+    deploy_model,
+    set_serving_mode,
     storage_report,
+    resident_report,
+    clone_module,
 )
 from repro.quantization.bn_calibration import calibrate_batchnorm
 from repro.quantization.smoothquant import apply_smoothquant
@@ -98,7 +102,11 @@ __all__ = [
     "calibrate_model",
     "convert_model",
     "quantize_model",
+    "deploy_model",
+    "set_serving_mode",
     "storage_report",
+    "resident_report",
+    "clone_module",
     "calibrate_batchnorm",
     "apply_smoothquant",
     "assign_mixed_formats",

@@ -12,13 +12,13 @@ exposed here and swept by ``benchmarks/bench_figure7_bn_calibration.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Union
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.augmentation import get_transform
-from repro.data.synthetic import ArrayDataset, DataLoader
+from repro.data.synthetic import ArrayDataset
 from repro.nn.module import Module
 from repro.nn.norm import _BatchNorm
 from repro.utils.logging import get_logger

@@ -18,11 +18,11 @@ per-channel configuration instead of silently degrading.
 from __future__ import annotations
 
 import warnings
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.quantization.qconfig import Granularity, QuantFormat, TensorQuantConfig
+from repro.quantization.qconfig import Granularity, TensorQuantConfig
 
 __all__ = [
     "Observer",

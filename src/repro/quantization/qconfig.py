@@ -95,6 +95,24 @@ class TensorQuantConfig:
     def enabled(self) -> bool:
         return self.fmt is not QuantFormat.FP32
 
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-safe form (inverted by :meth:`from_dict`); used by checkpoints."""
+        return {
+            "fmt": self.fmt.value,
+            "granularity": self.granularity.value,
+            "approach": self.approach.value,
+            "observer": self.observer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "TensorQuantConfig":
+        return cls(
+            fmt=QuantFormat(data["fmt"]),
+            granularity=Granularity(data["granularity"]),
+            approach=Approach(data["approach"]),
+            observer=data.get("observer", "minmax"),
+        )
+
 
 @dataclass(frozen=True)
 class OperatorQuantConfig:
@@ -110,6 +128,21 @@ class OperatorQuantConfig:
         if weight is not None and weight_fmt is not None:
             weight = replace(weight, fmt=weight_fmt)
         return OperatorQuantConfig(activation=replace(self.activation, fmt=activation_fmt), weight=weight)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (inverted by :meth:`from_dict`); used by checkpoints."""
+        return {
+            "activation": self.activation.to_dict(),
+            "weight": None if self.weight is None else self.weight.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "OperatorQuantConfig":
+        weight = data.get("weight")
+        return cls(
+            activation=TensorQuantConfig.from_dict(data["activation"]),
+            weight=None if weight is None else TensorQuantConfig.from_dict(weight),
+        )
 
 
 # Operator-type names used by recipes (they map onto module classes in qmodules).
@@ -197,6 +230,64 @@ class QuantizationRecipe:
             "batchnorm_calibration": self.batchnorm_calibration,
             "fallback_modules": list(self.fallback_modules),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-safe form of the recipe, invertible via :meth:`from_dict`.
+
+        Unlike :meth:`describe` (a human-oriented summary), this covers every
+        field — granularities, observers, SmoothQuant/BN-calibration settings
+        and the per-operator/per-module override tables — so a checkpoint can
+        embed the exact recipe that produced it.
+        """
+        return {
+            "name": self.name,
+            "activation_fmt": self.activation_fmt.value,
+            "weight_fmt": self.weight_fmt.value,
+            "approach": self.approach.value,
+            "operators": list(self.operators),
+            "weight_granularity": self.weight_granularity.value,
+            "activation_granularity": self.activation_granularity.value,
+            "observer": self.observer,
+            "skip_first_operator": self.skip_first_operator,
+            "skip_last_operator": self.skip_last_operator,
+            "smoothquant": self.smoothquant,
+            "smoothquant_alpha": self.smoothquant_alpha,
+            "batchnorm_calibration": self.batchnorm_calibration,
+            "bn_calibration_samples": self.bn_calibration_samples,
+            "bn_calibration_transform": self.bn_calibration_transform,
+            "operator_overrides": {k: v.to_dict() for k, v in self.operator_overrides.items()},
+            "module_overrides": {k: v.to_dict() for k, v in self.module_overrides.items()},
+            "fallback_modules": list(self.fallback_modules),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantizationRecipe":
+        return cls(
+            name=data["name"],
+            activation_fmt=QuantFormat(data["activation_fmt"]),
+            weight_fmt=QuantFormat(data["weight_fmt"]),
+            approach=Approach(data["approach"]),
+            operators=tuple(data.get("operators", STANDARD_OPERATORS)),
+            weight_granularity=Granularity(data.get("weight_granularity", "per_channel")),
+            activation_granularity=Granularity(data.get("activation_granularity", "per_tensor")),
+            observer=data.get("observer", "minmax"),
+            skip_first_operator=data.get("skip_first_operator", True),
+            skip_last_operator=data.get("skip_last_operator", True),
+            smoothquant=data.get("smoothquant", False),
+            smoothquant_alpha=data.get("smoothquant_alpha", 0.5),
+            batchnorm_calibration=data.get("batchnorm_calibration", False),
+            bn_calibration_samples=data.get("bn_calibration_samples", 3000),
+            bn_calibration_transform=data.get("bn_calibration_transform", "training"),
+            operator_overrides={
+                k: OperatorQuantConfig.from_dict(v)
+                for k, v in data.get("operator_overrides", {}).items()
+            },
+            module_overrides={
+                k: OperatorQuantConfig.from_dict(v)
+                for k, v in data.get("module_overrides", {}).items()
+            },
+            fallback_modules=tuple(data.get("fallback_modules", ())),
+        )
 
 
 FormatLike = Union[str, QuantFormat]

@@ -18,6 +18,28 @@ it again (the packed codes stay authoritative and the next forward
 re-materialises it), and ``restore()`` re-binds the pristine original.  Activation Q/DQ routes through the
 fused per-axis kernels (one absmax → scale → round → rescale call per tensor,
 no materialised broadcast scale arrays).
+
+Serving modes and deployment
+----------------------------
+After conversion a wrapper serves in one of two modes
+(:meth:`QuantizedModule.set_serving_mode`):
+
+* ``"cached"`` (default) — the float32 weight view is dequantized once and
+  kept; fastest, resident bytes ≈ packed + dense float32.
+* ``"streaming"`` — packed codes are decoded on the fly inside each forward
+  call and no persistent float32 view is kept.  :class:`QuantizedLinear`
+  streams the matmul in output-channel blocks
+  (:meth:`~repro.fp8.quantize.QuantizedTensor.dequantize_block`), and
+  :class:`QuantizedEmbedding` decodes only the gathered rows, so the dense
+  weight is never materialised at all; other operators decode transiently
+  and drop the view when the call returns.
+
+:meth:`QuantizedModule.drop_originals` enters *deployment* (restore-free)
+mode: the pristine original float32 weight is discarded, ``restore()``
+raises, and whenever the dequant cache is dropped the bound weight becomes a
+4-byte broadcast placeholder — resident weight bytes approach the packed
+footprint.  ``quantize_model(..., deploy=True)`` and
+``repro.serialization.load_quantized`` produce models in this mode.
 """
 
 from __future__ import annotations
@@ -39,11 +61,11 @@ from repro.quantization.qconfig import (
     Approach,
     Granularity,
     OperatorQuantConfig,
-    QuantFormat,
     TensorQuantConfig,
 )
 
 __all__ = [
+    "SERVING_MODES",
     "TensorQuantizer",
     "QuantizedModule",
     "QuantizedLinear",
@@ -57,6 +79,9 @@ __all__ = [
     "QUANTIZED_MODULE_MAP",
     "wrap_module",
 ]
+
+#: valid post-conversion serving modes (see the module docstring)
+SERVING_MODES = ("cached", "streaming")
 
 
 class TensorQuantizer:
@@ -177,6 +202,33 @@ class TensorQuantizer:
             "absmax": None if self._absmax is None else np.asarray(self._absmax).tolist(),
         }
 
+    # ------------------------------------------------------------------
+    # calibration-state round trip (checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the frozen calibration state (None entries = uncalibrated)."""
+
+        def _copy(value: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if value is None else np.array(value, copy=True)
+
+        return {
+            "frozen": self.frozen,
+            "absmax": _copy(self._absmax),
+            "min": _copy(self._min),
+            "max": _copy(self._max),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (the observer is left untouched)."""
+
+        def _load(value) -> Optional[np.ndarray]:
+            return None if value is None else np.asarray(value)
+
+        self.frozen = bool(state.get("frozen", False))
+        self._absmax = _load(state.get("absmax"))
+        self._min = _load(state.get("min"))
+        self._max = _load(state.get("max"))
+
 
 class QuantizedModule(Module):
     """Base wrapper: observes activations during calibration, Q/DQs them after conversion."""
@@ -209,6 +261,10 @@ class QuantizedModule(Module):
         self._weight_cache: Optional[np.ndarray] = None
         #: the pristine original float32 weight array (never written to)
         self._original_weight: Optional[np.ndarray] = None
+        #: restore-free deployment mode: original dropped, restore() raises
+        self.deployed = False
+        #: how the packed weight is served after conversion (see SERVING_MODES)
+        self.serving_mode = "cached"
 
     # ------------------------------------------------------------------
     # calibration / conversion lifecycle
@@ -244,19 +300,50 @@ class QuantizedModule(Module):
                 self._weight_cache = None
         self.observing = False
         self.quantizing = True
-        # Bind the dequantized view now so the module's visible weights (repr,
-        # state_dict) are the quantized ones from the moment of conversion;
-        # drop_weight_cache() returns to the packed-at-rest state.
-        self._bind_weight()
+        if self.serving_mode == "streaming":
+            # Streaming's no-persistent-float32 contract holds from the first
+            # forward: never materialise the dequant cache at convert time.
+            self.drop_weight_cache()
+        else:
+            # Bind the dequantized view now so the module's visible weights
+            # (repr, forward) are the quantized ones from the moment of
+            # conversion; drop_weight_cache() returns to packed-at-rest.
+            self._bind_weight()
 
     def restore(self) -> None:
         """Undo weight quantization (used by the tuning loop when falling back to FP32)."""
+        if self.deployed:
+            raise RuntimeError(
+                f"cannot restore {self.module_name or type(self).__name__}: the original "
+                "float32 weights were dropped (restore-free deployment mode); re-quantize "
+                "from the unquantized source model instead"
+            )
         if self._original_weight is not None:
             self.inner.weight.data = self._original_weight
         self._original_weight = None
         self._weight_cache = None
         self.weight_q = None
         self.quantizing = False
+
+    def drop_originals(self) -> None:
+        """Enter restore-free deployment mode: discard the pristine float32 original.
+
+        After this call the packed codes are the only storage of record for
+        the weight — ``restore()`` raises, and dropping the dequant cache
+        leaves a 4-byte broadcast placeholder bound as ``inner.weight`` so the
+        wrapper's resident weight bytes equal the packed footprint.
+        """
+        self.deployed = True
+        self._original_weight = None
+        self.drop_weight_cache()
+
+    def set_serving_mode(self, mode: str) -> None:
+        """Select how the packed weight is served: ``"cached"`` or ``"streaming"``."""
+        if mode not in SERVING_MODES:
+            raise ValueError(f"unknown serving mode {mode!r}; expected one of {SERVING_MODES}")
+        self.serving_mode = mode
+        if mode == "streaming":
+            self.drop_weight_cache()
 
     def _calibration_fallbacks(self) -> Sequence[Optional[np.ndarray]]:
         """Per-input fallback data for freezing without calibration (weights only)."""
@@ -281,16 +368,53 @@ class QuantizedModule(Module):
         if self.inner.weight.data is not cache:
             self.inner.weight.data = cache
 
+    def _weight_placeholder(self) -> np.ndarray:
+        """A read-only, 4-bytes-of-storage stand-in with the weight's shape.
+
+        Bound as ``inner.weight.data`` in deployment mode while the dequant
+        cache is dropped: shape/size introspection keeps working but no dense
+        float32 array is resident (``np.broadcast_to`` shares one zero).
+        """
+        return np.broadcast_to(np.zeros(1, dtype=np.float32), self.weight_q.shape)
+
     def drop_weight_cache(self) -> None:
         """Release the float32 weight view; packed codes stay authoritative.
 
         The next quantized forward re-materialises it.  Between the drop and
         that forward the wrapper holds only the packed bytes (plus the
         original float32 array, until/unless ``restore()`` gives it back).
+
+        In restore-free deployment mode there is no original to fall back to;
+        the bound weight becomes a broadcast placeholder instead, so the
+        dropped cache is genuinely freed rather than staying reachable (and
+        silently resident) through ``inner.weight``.  Any rebuild can then
+        only come from the packed codes.
         """
-        if self._weight_cache is not None and self._original_weight is not None:
-            self.inner.weight.data = self._original_weight
+        if self.weight_q is not None:
+            if self.deployed:
+                self.inner.weight.data = self._weight_placeholder()
+            elif self._weight_cache is not None and self._original_weight is not None:
+                self.inner.weight.data = self._original_weight
         self._weight_cache = None
+
+    def weight_resident_arrays(self) -> Sequence[np.ndarray]:
+        """Arrays this wrapper keeps alive for its weight beyond ``inner.weight``.
+
+        Used by :func:`repro.quantization.workflow.resident_report` to tally
+        actual resident bytes: the packed codes/scales, the dequant cache (if
+        materialised) and the pristine original (if not yet dropped).
+        """
+        arrays = []
+        if self.weight_q is not None:
+            arrays.append(self.weight_q.codes)
+            arrays.append(np.asarray(self.weight_q.scale))
+            if self.weight_q.zero_point is not None:
+                arrays.append(np.asarray(self.weight_q.zero_point))
+        if self._weight_cache is not None:
+            arrays.append(self._weight_cache)
+        if self._original_weight is not None:
+            arrays.append(self._original_weight)
+        return arrays
 
     def weight_storage_nbytes(self) -> Optional[dict]:
         """Packed vs dense byte counts for the quantized weight (None if unquantized)."""
@@ -315,8 +439,108 @@ class QuantizedModule(Module):
         return processed
 
     def forward(self, *inputs, **kwargs):
+        if self._is_streaming():
+            return self._forward_streaming(*inputs, **kwargs)
         self._bind_weight()
         return self.inner(*self._process_inputs(inputs), **kwargs)
+
+    def _is_streaming(self) -> bool:
+        return self.serving_mode == "streaming" and self.quantizing and self.weight_q is not None
+
+    def _forward_streaming(self, *inputs, **kwargs):
+        """Decode-on-the-fly fallback: transient dequant → compute → drop.
+
+        Operators with a structured streaming kernel (Linear's blocked matmul,
+        Embedding's gather-decode) override this; the fallback still honours
+        the no-persistent-cache contract — the float32 view only lives for the
+        duration of the call.
+        """
+        try:
+            self._bind_weight()
+            return self.inner(*self._process_inputs(inputs), **kwargs)
+        finally:
+            self.drop_weight_cache()
+
+    # ------------------------------------------------------------------
+    # state-dict composition (packed checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict_excluded_keys(self):
+        # Once the weight is packed, the codes in the extra state are the
+        # storage of record and the bound float32 array is a derived view (a
+        # dequant cache, or a placeholder in deployment mode) — snapshotting
+        # it would copy a dense array that load_state_dict/set_extra_state
+        # immediately supersedes from the packed payload.
+        if self.weight_q is not None:
+            return ("inner.weight",)
+        return ()
+
+    def get_extra_state(self) -> dict:
+        """Everything beyond params/buffers needed to rebuild this wrapper.
+
+        Composed into ``Module.state_dict()`` under ``<name>._extra_state``
+        and written verbatim into packed checkpoints: the operator config, the
+        conversion/deployment flags, the frozen calibration state of every
+        quantizer and — crucially — the packed weight codes/scales, so a
+        checkpoint round trip never materialises the float32 weight.
+        """
+        state = {
+            "config": self.config.to_dict(),
+            "inner_type": type(self.inner).__name__,
+            "quantizing": self.quantizing,
+            "deployed": self.deployed,
+            "serving_mode": self.serving_mode,
+            "input_quantizers": [q.state_dict() for q in self.input_quantizers],
+            "weight_quantizer": (
+                None if self.weight_quantizer is None else self.weight_quantizer.state_dict()
+            ),
+        }
+        if self.weight_q is not None:
+            weight_state = {
+                "codes": self.weight_q.codes.copy(),
+                "scale": np.array(self.weight_q.scale, copy=True),
+                "format": self.weight_q.fmt.name,
+            }
+            if self.weight_q.zero_point is not None:
+                weight_state["zero_point"] = np.array(self.weight_q.zero_point, copy=True)
+            state["weight_q"] = weight_state
+        return state
+
+    def set_extra_state(self, state: dict) -> None:
+        """Rebuild quantizers, packed weight and lifecycle flags from :meth:`get_extra_state`.
+
+        The float32 weight view is *not* materialised here: in deployment mode
+        a placeholder is bound immediately, otherwise the dequant cache is
+        rebuilt lazily by the next forward.
+        """
+        inner_type = state.get("inner_type")
+        if inner_type is not None and inner_type != type(self.inner).__name__:
+            raise ValueError(
+                f"extra state for {self.module_name or 'wrapper'} was saved for inner module "
+                f"type {inner_type}, but this wrapper holds {type(self.inner).__name__}"
+            )
+        self.config = OperatorQuantConfig.from_dict(state["config"])
+        self.input_quantizers = [
+            TensorQuantizer(self.config.activation) for _ in range(self.num_inputs)
+        ]
+        for quantizer, qstate in zip(self.input_quantizers, state.get("input_quantizers", [])):
+            quantizer.load_state_dict(qstate)
+        self.weight_quantizer = None
+        if self.has_weight and self.config.weight is not None and hasattr(self.inner, "weight"):
+            self.weight_quantizer = TensorQuantizer(
+                self.config.weight, channel_axis=self.weight_channel_axis
+            )
+            if state.get("weight_quantizer") is not None:
+                self.weight_quantizer.load_state_dict(state["weight_quantizer"])
+        weight_state = state.get("weight_q")
+        self.weight_q = (
+            None if weight_state is None else QuantizedTensor.from_state_dict(weight_state)
+        )
+        self._weight_cache = None
+        self.observing = False
+        self.quantizing = bool(state.get("quantizing", False))
+        self.set_serving_mode(state.get("serving_mode", "cached"))
+        if state.get("deployed", False):
+            self.drop_originals()
 
     def extra_repr(self) -> str:
         act = self.config.activation
@@ -324,6 +548,10 @@ class QuantizedModule(Module):
         parts = [f"activation={act.fmt.value}/{act.approach.value}"]
         if w is not None and self.has_weight:
             parts.append(f"weight={w.fmt.value}/{w.granularity.value}")
+        if self.quantizing and self.serving_mode != "cached":
+            parts.append(f"serving={self.serving_mode}")
+        if self.deployed:
+            parts.append("deployed")
         return ", ".join(parts)
 
 
@@ -332,6 +560,34 @@ class QuantizedLinear(QuantizedModule):
 
     num_inputs = 1
     has_weight = True
+
+    #: output channels decoded per block in streaming mode; bounds the
+    #: transient float32 working set to ``block * in_features * 4`` bytes
+    streaming_block_channels = 64
+
+    def _forward_streaming(self, x, **kwargs):
+        """Decode-on-the-fly matmul: stream packed weight rows through the kernel.
+
+        ``y[..., s:e] = x @ W[s:e].T`` with each block of ``W`` dequantized
+        from the packed codes (one fused decode → rescale call per block) and
+        discarded immediately — the dense float32 weight never exists, which
+        is what makes the memory-bound serving path genuinely packed-resident.
+        Inference only (no autograd tape is recorded).
+        """
+        (x,) = self._process_inputs((x,))
+        x_np = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
+        wq = self.weight_q
+        out_features = wq.shape[0]
+        block = max(1, int(self.streaming_block_channels))
+        y = np.empty(x_np.shape[:-1] + (out_features,), dtype=np.float32)
+        for start in range(0, out_features, block):
+            stop = min(start + block, out_features)
+            w_block = wq.dequantize_block(start, stop, axis=0)
+            np.matmul(x_np, w_block.T, out=y[..., start:stop])
+        bias = getattr(self.inner, "bias", None)
+        if bias is not None:
+            y += bias.data
+        return Tensor(y)
 
 
 class QuantizedConv2d(QuantizedModule):
@@ -348,8 +604,41 @@ class QuantizedEmbedding(QuantizedModule):
     has_weight = True
 
     def forward(self, indices, **kwargs):
+        if self._is_streaming():
+            return self._forward_streaming(indices, **kwargs)
         self._bind_weight()
         return self.inner(indices, **kwargs)
+
+    def _forward_streaming(self, indices, **kwargs):
+        """Gather-decode: pull only the looked-up rows out of packed storage.
+
+        The classic memory-bound serving win — bytes moved scale with the
+        batch's vocabulary footprint (1 byte/element + its row scale), not the
+        table size.  ``EmbeddingBag`` reductions fall back to the generic
+        transient-decode path.  Inference only.
+        """
+        if type(self.inner) is not Embedding:
+            return super()._forward_streaming(indices, **kwargs)
+        idx = np.asarray(indices, dtype=np.int64)
+        wq = self.weight_q
+        gathered = QuantizedTensor(
+            codes=wq.codes[idx],
+            scale=self._gather_param(np.asarray(wq.scale), idx, wq.ndim),
+            fmt=wq.fmt,
+            zero_point=(
+                None
+                if wq.zero_point is None
+                else self._gather_param(np.asarray(wq.zero_point), idx, wq.ndim)
+            ),
+        )
+        return Tensor(gathered.dequantize())
+
+    @staticmethod
+    def _gather_param(param: np.ndarray, idx: np.ndarray, weight_ndim: int) -> np.ndarray:
+        """Gather per-row scales/zero-points along axis 0 (per-tensor pass through)."""
+        if param.ndim == weight_ndim and param.shape[0] != 1:
+            return param[idx]
+        return param
 
 
 class QuantizedLayerNorm(QuantizedModule):

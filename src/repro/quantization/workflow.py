@@ -35,7 +35,10 @@ __all__ = [
     "calibrate_model",
     "convert_model",
     "quantize_model",
+    "deploy_model",
+    "set_serving_mode",
     "storage_report",
+    "resident_report",
     "find_first_last_operators",
     "clone_module",
 ]
@@ -234,6 +237,74 @@ def storage_report(model: Module) -> List[dict]:
     return rows
 
 
+def deploy_model(model: Module, serving_mode: Optional[str] = None) -> int:
+    """Switch every converted wrapper into restore-free deployment mode.
+
+    Drops the pristine float32 originals and the dequant caches so resident
+    weight bytes approach the packed footprint; ``restore()`` raises from now
+    on.  Optionally sets the serving mode in the same pass.  Returns the
+    number of wrappers deployed.
+    """
+    count = 0
+    for _, module in model.named_modules():
+        if isinstance(module, QuantizedModule):
+            if serving_mode is not None:
+                module.set_serving_mode(serving_mode)
+            module.drop_originals()
+            count += 1
+    return count
+
+
+def set_serving_mode(model: Module, mode: str) -> int:
+    """Set the serving mode (``"cached"`` / ``"streaming"``) on every wrapper."""
+    count = 0
+    for _, module in model.named_modules():
+        if isinstance(module, QuantizedModule):
+            module.set_serving_mode(mode)
+            count += 1
+    return count
+
+
+def _storage_base(array: np.ndarray) -> np.ndarray:
+    """Walk views back to the array that owns the bytes (broadcasts → their base)."""
+    while isinstance(array, np.ndarray) and isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
+def resident_report(model: Module) -> dict:
+    """Actual bytes resident for the model's weights, deduplicated by storage.
+
+    Unlike :func:`storage_report` (packed bytes *at rest*), this counts what
+    is really held in memory right now: parameter/buffer storage (views share
+    their base, so a deployment placeholder costs its 4 real bytes, not its
+    dense shape), packed codes/scales, materialised dequant caches and any
+    retained float32 originals.  ``fp32_bytes`` is what the same model costs
+    with every parameter dense float32 — the serving benchmark's baseline.
+    """
+    storages = {}
+    fp32_bytes = 0
+    for _, param in model.named_parameters():
+        base = _storage_base(param.data)
+        storages[id(base)] = base.nbytes
+        fp32_bytes += param.data.size * 4
+    for _, buf in model.named_buffers():
+        base = _storage_base(buf)
+        storages[id(base)] = base.nbytes
+        fp32_bytes += np.asarray(buf).size * 4
+    for _, module in model.named_modules():
+        if isinstance(module, QuantizedModule):
+            for array in module.weight_resident_arrays():
+                base = _storage_base(array)
+                storages[id(base)] = base.nbytes
+    resident = int(sum(storages.values()))
+    return {
+        "resident_bytes": resident,
+        "fp32_bytes": int(fp32_bytes),
+        "ratio": resident / fp32_bytes if fp32_bytes else 1.0,
+    }
+
+
 def quantize_model(
     model: Module,
     recipe: QuantizationRecipe,
@@ -243,6 +314,8 @@ def quantize_model(
     calibration_batch_size: int = 32,
     bn_calibration_data: CalibrationData = None,
     inplace: bool = False,
+    deploy: bool = False,
+    serving_mode: Optional[str] = None,
 ) -> QuantizationResult:
     """Quantize a trained FP32 model following the paper's workflow (Figure 2).
 
@@ -263,6 +336,12 @@ def quantize_model(
     bn_calibration_data:
         Data used for BatchNorm re-calibration when the recipe requests it
         (falls back to ``calibration_data``).
+    deploy:
+        Enter restore-free deployment mode after conversion (see
+        :func:`deploy_model`): originals and caches dropped, resident weight
+        bytes ≈ the packed footprint, ``restore()`` raises.
+    serving_mode:
+        Optionally set ``"cached"`` / ``"streaming"`` on every wrapper.
     """
     target = model if inplace else clone_module(model)
     target.eval()
@@ -320,5 +399,12 @@ def quantize_model(
                 batch_size=calibration_batch_size,
             )
             result.batchnorm_calibrated = True
+
+    # Deployment last: BN calibration runs forwards that would re-materialise
+    # the caches deploy just dropped.
+    if serving_mode is not None:
+        set_serving_mode(target, serving_mode)
+    if deploy:
+        deploy_model(target)
 
     return result

@@ -1,0 +1,221 @@
+"""The on-disk container for packed checkpoints: one file, header + payloads.
+
+Layout (all integers little-endian)::
+
+    offset 0   magic     8 bytes   b"RPQCKPT\\x00"
+    offset 8   version   uint32    container format version (currently 1)
+    offset 12  hdr_len   uint64    byte length of the JSON header
+    offset 20  header    hdr_len   UTF-8 JSON
+    ...        padding to a 64-byte boundary
+    ...        payload   raw little-endian array bytes, each 64-byte aligned
+
+The header carries two things: ``meta`` (an arbitrary JSON tree supplied by
+the caller — recipe, module specs, flags) and ``arrays`` (a name → {dtype,
+shape, offset, nbytes} table, offsets relative to the payload start).  Arrays
+are written as raw C-contiguous bytes; packed uint8/int8 codes therefore cost
+exactly one byte per element on disk, same as in memory.
+
+Failure modes are explicit: a wrong magic raises :class:`CheckpointError`, a
+newer container version raises :class:`CheckpointVersionError`, and truncated
+or overlapping payloads are rejected before any array is built.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointVersionError",
+    "CONTAINER_MAGIC",
+    "CONTAINER_VERSION",
+    "write_container",
+    "read_container",
+    "read_header",
+]
+
+CONTAINER_MAGIC = b"RPQCKPT\x00"
+CONTAINER_VERSION = 1
+
+_PREFIX = struct.Struct("<8sIQ")  # magic, version, header length
+_ALIGN = 64
+
+#: dtypes a checkpoint may carry; anything else is rejected on read and write
+_ALLOWED_DTYPES = frozenset(
+    {
+        "bool",
+        "uint8",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float16",
+        "float32",
+        "float64",
+    }
+)
+
+
+class CheckpointError(ValueError):
+    """The file is not a valid repro packed checkpoint."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint was written by a newer (unsupported) format version."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _check_dtype(name: str, dtype: np.dtype) -> str:
+    dtype_name = np.dtype(dtype).name
+    if dtype_name not in _ALLOWED_DTYPES:
+        raise CheckpointError(f"array {name!r} has unsupported checkpoint dtype {dtype_name!r}")
+    return dtype_name
+
+
+def write_container(path: str, arrays: Dict[str, np.ndarray], meta: dict) -> int:
+    """Write a single-file checkpoint; returns the total bytes written.
+
+    The offset table is computed up front from shapes alone; array bytes are
+    then streamed straight to the file, so peak memory stays at the arrays
+    themselves (no transient full-payload copy).
+    """
+    normalised: Dict[str, np.ndarray] = {}
+    table = {}
+    payload_cursor = 0
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        if not array.flags["C_CONTIGUOUS"]:
+            # (ascontiguousarray unconditionally would also promote 0-d
+            # arrays to 1-d, silently changing the stored shape)
+            array = np.ascontiguousarray(array)
+        normalised[name] = array
+        dtype_name = _check_dtype(name, array.dtype)
+        payload_cursor = _aligned(payload_cursor)
+        table[name] = {
+            "dtype": dtype_name,
+            "shape": list(array.shape),
+            "offset": payload_cursor,
+            "nbytes": int(array.nbytes),
+        }
+        payload_cursor += array.nbytes
+
+    header = json.dumps({"meta": meta, "arrays": table}, sort_keys=True).encode("utf-8")
+    payload_start = _aligned(_PREFIX.size + len(header))
+    with open(path, "wb") as fh:
+        fh.write(_PREFIX.pack(CONTAINER_MAGIC, CONTAINER_VERSION, len(header)))
+        fh.write(header)
+        for name, array in normalised.items():
+            fh.seek(payload_start + table[name]["offset"])
+            fh.write(array.tobytes())
+        total = payload_start + payload_cursor
+        fh.truncate(total)
+    return total
+
+
+def _read_header(fh, path: str) -> Tuple[dict, int]:
+    """Parse prefix + JSON header; returns (header, payload_start).  O(header)."""
+    fh.seek(0, 2)
+    file_size = fh.tell()
+    fh.seek(0)
+    prefix = fh.read(_PREFIX.size)
+    if len(prefix) < _PREFIX.size:
+        raise CheckpointError(f"{path}: file too short to be a packed checkpoint")
+    magic, version, header_len = _PREFIX.unpack(prefix)
+    if magic != CONTAINER_MAGIC:
+        raise CheckpointError(f"{path}: bad magic {magic!r}; not a repro packed checkpoint")
+    if version > CONTAINER_VERSION:
+        raise CheckpointVersionError(
+            f"{path}: container version {version} is newer than supported "
+            f"version {CONTAINER_VERSION}; upgrade repro to read it"
+        )
+    if header_len > file_size - _PREFIX.size:
+        # Bound the read by the actual file extent before allocating: a
+        # fuzzed uint64 length must fail loudly, not as a MemoryError.
+        raise CheckpointError(f"{path}: truncated header")
+    header_bytes = fh.read(header_len)
+    if len(header_bytes) < header_len:
+        raise CheckpointError(f"{path}: truncated header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: corrupt header ({exc})") from exc
+    if not isinstance(header, dict) or "arrays" not in header or "meta" not in header:
+        raise CheckpointError(f"{path}: header is missing the arrays/meta tables")
+    return header, _aligned(_PREFIX.size + header_len)
+
+
+def _validated_spans(header: dict, payload_start: int, file_size: int, path: str):
+    """Check every array span: declared size, file extent, and mutual overlap.
+
+    Yields (name, dtype, shape, nbytes, absolute_offset) in table order after
+    proving no span escapes the file and no two spans alias each other — a
+    corrupt offset table must fail loudly, not decode garbage weights.
+    """
+    spans = []
+    for name, spec in header["arrays"].items():
+        dtype = np.dtype(_check_dtype(name, spec["dtype"]))
+        shape = tuple(int(dim) for dim in spec["shape"])
+        nbytes = int(spec["nbytes"])
+        offset = int(spec["offset"])
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != expected:
+            raise CheckpointError(
+                f"{path}: array {name!r} declares {nbytes} bytes but "
+                f"shape {shape} × {dtype} needs {expected}"
+            )
+        if offset < 0 or payload_start + offset + nbytes > file_size:
+            raise CheckpointError(
+                f"{path}: array {name!r} span [{offset}, {offset + nbytes}) "
+                "escapes the file; truncated or corrupt payload"
+            )
+        spans.append((name, dtype, shape, nbytes, payload_start + offset))
+    ordered = sorted(spans, key=lambda span: span[4])
+    for (name_a, _, _, nbytes_a, start_a), (name_b, _, _, _, start_b) in zip(ordered, ordered[1:]):
+        if start_a + nbytes_a > start_b:
+            raise CheckpointError(
+                f"{path}: arrays {name_a!r} and {name_b!r} overlap in the payload; "
+                "corrupt offset table"
+            )
+    return spans
+
+
+def read_header(path: str) -> dict:
+    """Read only the JSON header's ``meta`` tree — no payload bytes are touched."""
+    with open(path, "rb") as fh:
+        header, _ = _read_header(fh, path)
+    return header["meta"]
+
+
+def read_container(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read a checkpoint back into (arrays, meta).
+
+    Arrays are materialised as writable C-contiguous copies of the payload
+    bytes (no float32 weights are ever reconstructed here — codes come back
+    as the packed uint8/int8 they were written as).
+    """
+    with open(path, "rb") as fh:
+        header, payload_start = _read_header(fh, path)
+        fh.seek(0, 2)
+        file_size = fh.tell()
+        arrays: Dict[str, np.ndarray] = {}
+        for name, dtype, shape, nbytes, start in _validated_spans(
+            header, payload_start, file_size, path
+        ):
+            fh.seek(start)
+            # read straight into the writable buffer frombuffer will wrap —
+            # one copy of the payload in memory, not two
+            buffer = bytearray(nbytes)
+            if fh.readinto(buffer) < nbytes:
+                raise CheckpointError(f"{path}: truncated payload for array {name!r}")
+            arrays[name] = np.frombuffer(buffer, dtype=dtype).reshape(shape)
+        return arrays, header["meta"]

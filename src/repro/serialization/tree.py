@@ -1,0 +1,75 @@
+"""Flatten nested state trees into (arrays, JSON skeleton) and back.
+
+``Module.state_dict()`` with extra state is a tree: plain arrays at the top
+level plus nested dicts/lists (quantizer snapshots, packed-weight payloads)
+under ``_extra_state`` keys.  The container stores arrays and JSON separately,
+so checkpointing needs a lossless split:
+
+* every :class:`numpy.ndarray` leaf is lifted into a flat ``{path: array}``
+  dict (path components joined with ``"/"``), and replaced in the skeleton by
+  ``{"$array": path}``;
+* everything else (bools, numbers, strings, ``None``) stays in the skeleton,
+  which must be JSON-serialisable.
+
+``unflatten_state`` inverts the transformation exactly; numpy scalars are
+normalised to Python scalars on the way in so the skeleton always serialises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["flatten_state", "unflatten_state"]
+
+_ARRAY_REF = "$array"
+
+
+def _flatten(node, path: str, arrays: Dict[str, np.ndarray]):
+    if isinstance(node, np.ndarray):
+        arrays[path] = node
+        return {_ARRAY_REF: path}
+    if isinstance(node, np.generic):
+        return node.item()
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            key = str(key)
+            if "/" in key:
+                raise ValueError(f"state key {key!r} may not contain '/'")
+            out[key] = _flatten(value, f"{path}/{key}" if path else key, arrays)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [
+            _flatten(value, f"{path}/{index}" if path else str(index), arrays)
+            for index, value in enumerate(node)
+        ]
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise TypeError(f"state leaf at {path!r} has unserialisable type {type(node).__name__}")
+
+
+def flatten_state(tree: dict) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Split a state tree into (flat array dict, JSON-safe skeleton)."""
+    arrays: Dict[str, np.ndarray] = {}
+    skeleton = _flatten(tree, "", arrays)
+    return arrays, skeleton
+
+
+def _unflatten(node, arrays: Dict[str, np.ndarray]):
+    if isinstance(node, dict):
+        if set(node.keys()) == {_ARRAY_REF}:
+            path = node[_ARRAY_REF]
+            if path not in arrays:
+                raise KeyError(f"skeleton references missing array {path!r}")
+            return arrays[path]
+        return {key: _unflatten(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(value, arrays) for value in node]
+    return node
+
+
+def unflatten_state(skeleton: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    """Rebuild the original state tree from :func:`flatten_state` output."""
+    return _unflatten(skeleton, arrays)

@@ -9,7 +9,7 @@ synthetic dataset — and fully deterministic given the spec's seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -19,7 +19,7 @@ from repro.data.synthetic import ArrayDataset, DataLoader
 from repro.nn.module import Module
 from repro.optim import SGD, Adam
 from repro.utils.logging import get_logger
-from repro.utils.seeding import RngLike, seeded_rng
+from repro.utils.seeding import seeded_rng
 
 __all__ = ["TrainConfig", "train_model", "evaluate_model"]
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import contextlib
 import random
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 import numpy as np
 

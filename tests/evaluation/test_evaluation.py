@@ -155,7 +155,6 @@ class TestTextGenMetrics:
 
     def test_evaluate_generation_quality(self, lm_bundle):
         prompts = lm_bundle.eval_data.inputs[:2, :8]
-        probs = lm_bundle.eval_data.extras if lm_bundle.eval_data.extras else None
         quality = evaluate_generation_quality(
             lm_bundle.model, prompts, transition_probs=None, max_new_tokens=8, beam_size=1
         )

@@ -20,7 +20,6 @@ from repro.quantization import (
     extended_recipe,
     int8_recipe,
     quantize_model,
-    relative_accuracy_loss,
     standard_recipe,
 )
 

@@ -213,7 +213,6 @@ class TestOptim:
         opt = SGD([p], lr=0.1, momentum=0.0)
         for _ in range(50):
             opt.zero_grad()
-            loss = (Tensor(p.data, requires_grad=False),)
             p.grad = 2 * p.data  # d/dp p^2
             opt.step()
         assert abs(p.data[0]) < 0.1

@@ -16,11 +16,9 @@ from repro.quantization.observers import (
 )
 from repro.quantization.qconfig import (
     Approach,
-    EXTENDED_OPERATORS,
     Granularity,
     OperatorQuantConfig,
     QuantFormat,
-    QuantizationRecipe,
     STANDARD_OPERATORS,
     TensorQuantConfig,
     extended_recipe,

@@ -5,7 +5,6 @@ import pytest
 
 import repro.nn as nn
 from repro.autograd import Tensor, no_grad
-from repro.models.transformer import BertStyleClassifier
 from repro.models.cnn import TinyResNet
 from repro.quantization import (
     Approach,
@@ -175,7 +174,7 @@ class TestQuantizedWrappers:
         wrapper.restore()
         assert np.array_equal(wrapper.inner.weight.data, original)
 
-    def test_state_dict_sees_quantized_weights_right_after_convert(self):
+    def test_state_dict_carries_packed_weight_right_after_convert(self):
         model = nn.Sequential(nn.Linear(8, 4, rng=np.random.default_rng(0)))
         model.eval()
         original = model.get_submodule("0").weight.data.copy()
@@ -183,11 +182,15 @@ class TestQuantizedWrappers:
             model, standard_recipe("E4M3", approach=Approach.DYNAMIC), inplace=True
         )
         state = result.model.state_dict()
-        key = next(k for k in state if k.endswith("weight"))
-        # no forward has run, yet the snapshot already holds the quantized view
-        assert not np.array_equal(state[key], original)
         wrapper = result.model.get_submodule("0")
-        assert np.array_equal(state[key], wrapper.quantized_weight())
+        # no forward has run, yet the snapshot already holds the quantized
+        # weight — as packed codes/scales in the wrapper's extra state (the
+        # storage of record since PR 3), not as a derived dense float copy
+        assert "0.inner.weight" not in state
+        packed = state["0._extra_state"]["weight_q"]
+        assert np.array_equal(packed["codes"], wrapper.weight_q.codes)
+        assert np.array_equal(packed["scale"], np.asarray(wrapper.weight_q.scale))
+        assert not np.array_equal(wrapper.quantized_weight(), original)
 
     def test_packed_weight_storage_is_quarter_of_fp32(self):
         linear = nn.Linear(64, 64, rng=np.random.default_rng(0))

@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.autograd import Tensor, no_grad
+from repro.autograd import no_grad
 from repro.data.synthetic import make_classification_images
 from repro.models.outliers import inject_nlp_outliers
 from repro.models.transformer import BertStyleClassifier
 from repro.quantization import (
-    Approach,
     AutoTuner,
     QuantFormat,
     apply_smoothquant,
@@ -17,7 +16,6 @@ from repro.quantization import (
     calibrate_batchnorm,
     classify_tensor,
     extended_recipe,
-    int8_recipe,
     meets_accuracy_target,
     mse,
     quantize_model,

@@ -1,0 +1,183 @@
+"""Container-level format tests: round trip, alignment, corrupt/version errors."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serialization import (
+    CONTAINER_MAGIC,
+    CONTAINER_VERSION,
+    CheckpointError,
+    CheckpointVersionError,
+    read_container,
+    read_header,
+    write_container,
+)
+
+
+def _sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "codes": rng.integers(0, 255, (16, 32)).astype(np.uint8),
+        "int8": rng.integers(-128, 127, (8,)).astype(np.int8),
+        "scale": rng.normal(0, 1, (16, 1)).astype(np.float64),
+        "scalar": np.float64(3.5) * np.ones(()),
+        "empty": np.zeros((0, 4), dtype=np.float32),
+    }
+
+
+class TestContainerRoundTrip:
+    def test_roundtrip_bit_identical(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        arrays = _sample_arrays()
+        meta = {"kind": "test", "nested": {"a": [1, 2, None], "b": "x"}}
+        total = write_container(path, arrays, meta)
+        assert total == (tmp_path / "c.rpq").stat().st_size
+        loaded, loaded_meta = read_container(path)
+        assert loaded_meta == meta
+        assert set(loaded) == set(arrays)
+        for name, array in arrays.items():
+            assert loaded[name].dtype == array.dtype, name
+            assert loaded[name].shape == array.shape, name
+            assert np.array_equal(loaded[name], array), name
+
+    def test_loaded_arrays_are_writable(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        write_container(path, {"a": np.arange(4, dtype=np.int32)}, {})
+        loaded, _ = read_container(path)
+        loaded["a"][0] = 7  # must not raise
+
+    def test_packed_codes_cost_one_byte_per_element(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        codes = np.zeros((256, 256), dtype=np.uint8)
+        total = write_container(path, {"codes": codes}, {})
+        assert total < codes.size + 4096  # codes + header/alignment slack
+
+    def test_read_header_is_payload_free(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        meta = {"kind": "test", "answer": 42}
+        write_container(path, _sample_arrays(), meta)
+        assert read_header(path) == meta
+        # header parsing must not depend on payload integrity at all
+        size = (tmp_path / "c.rpq").stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 128)
+        assert read_header(path) == meta
+        with pytest.raises(CheckpointError):
+            read_container(path)
+
+    def test_rejects_unsupported_dtype(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        with pytest.raises(CheckpointError, match="unsupported"):
+            write_container(path, {"bad": np.array(["a"], dtype=object)}, {})
+
+
+class TestContainerErrors:
+    def _write_valid(self, tmp_path):
+        path = str(tmp_path / "c.rpq")
+        write_container(path, _sample_arrays(), {"kind": "test"})
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = bytearray(open(path, "rb").read())
+        raw[0:4] = b"XXXX"
+        open(path, "wb").write(raw)
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_container(path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = bytearray(open(path, "rb").read())
+        raw[8:12] = struct.pack("<I", CONTAINER_VERSION + 1)
+        open(path, "wb").write(raw)
+        with pytest.raises(CheckpointVersionError, match="newer"):
+            read_container(path)
+
+    def test_truncated_prefix(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:10])
+        with pytest.raises(CheckpointError, match="too short"):
+            read_container(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:24])
+        with pytest.raises(CheckpointError, match="truncated header"):
+            read_container(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = bytearray(open(path, "rb").read())
+        raw[20:24] = b"\xff\xfe\x00{"
+        open(path, "wb").write(raw)
+        with pytest.raises(CheckpointError, match="corrupt header"):
+            read_container(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:-64])
+        with pytest.raises(CheckpointError, match="escapes the file|truncated payload"):
+            read_container(path)
+
+    def test_shape_nbytes_mismatch(self, tmp_path):
+        path = self._write_valid(tmp_path)
+        with open(path, "rb") as fh:
+            magic, version, header_len = struct.unpack("<8sIQ", fh.read(20))
+            header = json.loads(fh.read(header_len))
+            rest = fh.read()
+        name = next(iter(header["arrays"]))
+        header["arrays"][name]["nbytes"] += 1
+        new_header = json.dumps(header).encode()
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<8sIQ", magic, version, len(new_header)))
+            fh.write(new_header)
+            fh.write(rest)
+        with pytest.raises(CheckpointError, match="declares"):
+            read_container(path)
+
+    def _rewrite_header(self, path, mutate):
+        with open(path, "rb") as fh:
+            magic, version, header_len = struct.unpack("<8sIQ", fh.read(20))
+            header = json.loads(fh.read(header_len))
+            rest = fh.read()
+        mutate(header)
+        new_header = json.dumps(header).encode()
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<8sIQ", magic, version, len(new_header)))
+            fh.write(new_header)
+            fh.write(rest)
+
+    def test_overlapping_spans_rejected(self, tmp_path):
+        path = self._write_valid(tmp_path)
+
+        def mutate(header):
+            names = list(header["arrays"])
+            header["arrays"][names[1]]["offset"] = header["arrays"][names[0]]["offset"]
+
+        self._rewrite_header(path, mutate)
+        with pytest.raises(CheckpointError, match="overlap"):
+            read_container(path)
+
+    def test_span_escaping_file_rejected(self, tmp_path):
+        path = self._write_valid(tmp_path)
+
+        def mutate(header):
+            name = next(iter(header["arrays"]))
+            header["arrays"][name]["offset"] = 1 << 30
+
+        self._rewrite_header(path, mutate)
+        with pytest.raises(CheckpointError, match="escapes the file"):
+            read_container(path)
+
+    def test_empty_magic_check(self, tmp_path):
+        path = str(tmp_path / "not-a-checkpoint")
+        open(path, "wb").write(b"hello world, definitely not a checkpoint")
+        with pytest.raises(CheckpointError):
+            read_container(path)
+        assert CONTAINER_MAGIC not in open(path, "rb").read()

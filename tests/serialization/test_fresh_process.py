@@ -1,0 +1,33 @@
+"""Fresh-process round trip: the exact check the CI checkpoint-roundtrip job runs.
+
+Runs ``tools/ci_checkpoint_roundtrip.py`` save and load phases as separate
+interpreter processes, so nothing can leak through module globals — the same
+isolation the CI job gets from separate workflow steps.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "ci_checkpoint_roundtrip.py")
+
+
+def _run(phase: str, directory: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, TOOL, phase, "--dir", directory],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_save_then_load_in_fresh_processes(tmp_path):
+    directory = str(tmp_path / "roundtrip")
+    save = _run("save", directory)
+    assert save.returncode == 0, f"save phase failed:\n{save.stdout}\n{save.stderr}"
+    assert os.path.exists(os.path.join(directory, "model.rpq"))
+
+    load = _run("load", directory)
+    assert load.returncode == 0, f"load phase failed:\n{load.stdout}\n{load.stderr}"
+    assert "bit-identical" in load.stdout
