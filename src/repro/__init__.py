@@ -17,7 +17,11 @@ The package is organised as:
     The experiment harness that regenerates every table and figure.
 ``repro.serialization``
     Packed single-file checkpoints: save/load converted models without ever
-    materialising float32 weights, for restore-free deployment serving.
+    materialising float32 weights, for restore-free deployment serving —
+    including zero-copy mmap loads where codes are paged in on first touch.
+``repro.serving``
+    The throughput layer: a batched request engine over one served model and
+    double-buffered block prefetch for the streaming weight path.
 """
 
 from repro import fp8

@@ -9,6 +9,7 @@ Gradient correctness is verified by the property-based tests in
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -17,24 +18,27 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_grad_enabled = True
+# Per-thread so concurrent forwards don't race: the serving engine's driver
+# thread runs its inference under no_grad while another thread may be
+# training or calibrating — a process-global flag would let one thread's
+# context exit clobber the other's state.
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling tape recording (inference mode)."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = False
+    """Context manager disabling tape recording (inference mode, per thread)."""
+    prev = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _grad_state.enabled = prev
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record backward closures."""
-    return _grad_enabled
+    """Whether operations on the current thread record backward closures."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -131,7 +135,7 @@ class Tensor:
         backward: Callable[["Tensor"], None],
     ) -> "Tensor":
         """Create a result tensor and register its backward closure."""
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = lambda: backward(out)

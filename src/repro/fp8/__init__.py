@@ -37,6 +37,7 @@ from repro.fp8.quantize import (
     compute_scale,
     quantize_dequantize,
     QuantizedTensor,
+    is_memory_mapped,
 )
 from repro.fp8.int8 import (
     Int8Spec,
@@ -73,6 +74,7 @@ __all__ = [
     "compute_scale",
     "quantize_dequantize",
     "QuantizedTensor",
+    "is_memory_mapped",
     "Int8Spec",
     "INT8_SYMMETRIC",
     "INT8_ASYMMETRIC",

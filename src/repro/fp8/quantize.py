@@ -65,7 +65,25 @@ __all__ = [
     "quantize_to_fp8",
     "quantize_dequantize",
     "QuantizedTensor",
+    "is_memory_mapped",
 ]
+
+
+def is_memory_mapped(array: Optional[np.ndarray]) -> bool:
+    """True if ``array``'s storage is a view into an ``np.memmap`` mapping.
+
+    mmap-loaded checkpoints hand packed codes/scales back as zero-copy views
+    into the mapped file; walking the ``base`` chain finds the owning memmap
+    regardless of how many slice/``asarray`` views sit on top.  Used by
+    :func:`repro.quantization.workflow.resident_report` to count mapped bytes
+    (paged on demand by the kernel) separately from materialised resident
+    bytes.
+    """
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
 
 FormatLike = Union[str, FP8Format]
 StorageFormat = Union[FP8Format, Int8Spec]
@@ -315,6 +333,46 @@ class QuantizedTensor:
         if self.is_fp8:
             return kernels.fp8_dequantize_channelwise(codes, self.fmt, scale)
         return int8_dequantize_channelwise(codes, scale, _slice_param(self.zero_point))
+
+    # ------------------------------------------------------------------
+    # memory-mapped storage
+    # ------------------------------------------------------------------
+    @property
+    def is_mapped(self) -> bool:
+        """True if any component is a zero-copy view into an mmap-loaded file.
+
+        Mapped components are read-only: in-place writes raise, and every
+        mutation path in the library (re-``quantize``, :meth:`materialize`)
+        allocates fresh private storage instead — copy-on-write at the
+        granularity of the whole component.
+        """
+        return (
+            is_memory_mapped(self.codes)
+            or is_memory_mapped(self.scale)
+            or is_memory_mapped(self.zero_point)
+        )
+
+    def materialize(self) -> "QuantizedTensor":
+        """Replace mapped (or otherwise read-only) components with private copies.
+
+        The explicit copy-on-write escape hatch for mmap-backed tensors: after
+        this call every component owns writable RAM storage and the tensor no
+        longer pins the checkpoint mapping.  A tensor that is already fully
+        materialised is returned unchanged (no copies are made).
+        """
+
+        def _own(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            if array is None:
+                return None
+            array = np.asarray(array)
+            if is_memory_mapped(array) or not array.flags.writeable:
+                return np.array(array, copy=True)
+            return array
+
+        self.codes = _own(self.codes)
+        self.scale = _own(self.scale)
+        self.zero_point = _own(self.zero_point)
+        return self
 
     # ------------------------------------------------------------------
     # shape / storage introspection

@@ -44,6 +44,7 @@ footprint.  ``quantize_model(..., deploy=True)`` and
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 import numpy as np
@@ -66,6 +67,8 @@ from repro.quantization.qconfig import (
 
 __all__ = [
     "SERVING_MODES",
+    "STREAM_BLOCK_ENV",
+    "DEFAULT_STREAM_BLOCK",
     "TensorQuantizer",
     "QuantizedModule",
     "QuantizedLinear",
@@ -82,6 +85,14 @@ __all__ = [
 
 #: valid post-conversion serving modes (see the module docstring)
 SERVING_MODES = ("cached", "streaming")
+
+#: environment variable overriding the default streaming block size for every
+#: wrapper that has no explicit per-module setting
+STREAM_BLOCK_ENV = "REPRO_STREAM_BLOCK"
+
+#: fallback output channels decoded per block in streaming mode when neither a
+#: per-module setting nor the environment variable is present
+DEFAULT_STREAM_BLOCK = 64
 
 
 class TensorQuantizer:
@@ -239,6 +250,9 @@ class QuantizedModule(Module):
     has_weight = True
     #: axis of the weight tensor that indexes output channels
     weight_channel_axis = 0
+    #: double-buffered block prefetch in streaming mode (honoured by operators
+    #: with a blocked streaming kernel; see serving/prefetch.py)
+    streaming_prefetch = False
 
     def __init__(self, inner: Module, config: OperatorQuantConfig, name: str = "") -> None:
         super().__init__()
@@ -337,13 +351,55 @@ class QuantizedModule(Module):
         self._original_weight = None
         self.drop_weight_cache()
 
-    def set_serving_mode(self, mode: str) -> None:
-        """Select how the packed weight is served: ``"cached"`` or ``"streaming"``."""
+    def set_serving_mode(
+        self,
+        mode: str,
+        block_channels: Optional[int] = None,
+        prefetch: Optional[bool] = None,
+    ) -> None:
+        """Select how the packed weight is served: ``"cached"`` or ``"streaming"``.
+
+        ``block_channels`` pins this module's streaming block size (output
+        channels decoded per block); when left ``None`` the module falls back
+        to the ``REPRO_STREAM_BLOCK`` environment variable, then to the class
+        default (see :meth:`streaming_block_size`).  ``prefetch`` toggles the
+        double-buffered block prefetcher for operators with a blocked
+        streaming kernel: a background thread decodes block *k+1* while block
+        *k*'s matmul runs.  ``None`` leaves either setting unchanged.
+        """
         if mode not in SERVING_MODES:
             raise ValueError(f"unknown serving mode {mode!r}; expected one of {SERVING_MODES}")
+        if block_channels is not None:
+            if int(block_channels) < 1:
+                raise ValueError(f"block_channels must be >= 1, got {block_channels!r}")
+            self.streaming_block_channels = int(block_channels)
+        if prefetch is not None:
+            self.streaming_prefetch = bool(prefetch)
         self.serving_mode = mode
         if mode == "streaming":
             self.drop_weight_cache()
+
+    def streaming_block_size(self) -> int:
+        """Resolve the streaming block size for this module.
+
+        Priority: an explicit per-module setting
+        (``set_serving_mode(..., block_channels=)`` or direct assignment to
+        ``streaming_block_channels``), then the ``REPRO_STREAM_BLOCK``
+        environment variable, then the class default.
+        """
+        block = self.__dict__.get("streaming_block_channels")
+        if block is None:
+            env = os.environ.get(STREAM_BLOCK_ENV, "").strip()
+            if env:
+                try:
+                    block = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{STREAM_BLOCK_ENV} must be an integer, got {env!r}"
+                    ) from None
+            else:
+                block = getattr(type(self), "streaming_block_channels", DEFAULT_STREAM_BLOCK)
+        return max(1, int(block))
 
     def _calibration_fallbacks(self) -> Sequence[Optional[np.ndarray]]:
         """Per-input fallback data for freezing without calibration (weights only)."""
@@ -561,9 +617,11 @@ class QuantizedLinear(QuantizedModule):
     num_inputs = 1
     has_weight = True
 
-    #: output channels decoded per block in streaming mode; bounds the
-    #: transient float32 working set to ``block * in_features * 4`` bytes
-    streaming_block_channels = 64
+    #: class-default output channels decoded per block in streaming mode;
+    #: bounds the transient float32 working set to ``block * in_features * 4``
+    #: bytes.  Resolution order for the effective size is per-module setting →
+    #: ``REPRO_STREAM_BLOCK`` → this default (see ``streaming_block_size()``).
+    streaming_block_channels = DEFAULT_STREAM_BLOCK
 
     def _forward_streaming(self, x, **kwargs):
         """Decode-on-the-fly matmul: stream packed weight rows through the kernel.
@@ -572,22 +630,42 @@ class QuantizedLinear(QuantizedModule):
         from the packed codes (one fused decode → rescale call per block) and
         discarded immediately — the dense float32 weight never exists, which
         is what makes the memory-bound serving path genuinely packed-resident.
-        Inference only (no autograd tape is recorded).
+        ``x`` may carry any number of leading batch dimensions; the whole
+        batch shares each decoded block, which is what the serving engine's
+        request batching amortises.  With ``streaming_prefetch`` enabled the
+        blocks arrive from a background decode thread (double-buffered), so
+        block *k+1*'s dequantize overlaps block *k*'s matmul.  Inference only
+        (no autograd tape is recorded).
         """
         (x,) = self._process_inputs((x,))
         x_np = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
         wq = self.weight_q
         out_features = wq.shape[0]
-        block = max(1, int(self.streaming_block_channels))
         y = np.empty(x_np.shape[:-1] + (out_features,), dtype=np.float32)
-        for start in range(0, out_features, block):
-            stop = min(start + block, out_features)
-            w_block = wq.dequantize_block(start, stop, axis=0)
+        for start, stop, w_block in self._iter_weight_blocks():
             np.matmul(x_np, w_block.T, out=y[..., start:stop])
         bias = getattr(self.inner, "bias", None)
         if bias is not None:
             y += bias.data
         return Tensor(y)
+
+    def _iter_weight_blocks(self):
+        """Yield ``(start, stop, float32 block)`` over the packed weight's axis 0."""
+        block = self.streaming_block_size()
+        if self.streaming_prefetch:
+            # lazy import: the quantization layer must stay importable (and
+            # fully functional) without the serving package in the loop
+            from repro.serving.prefetch import BlockPrefetcher
+
+            return BlockPrefetcher(self.weight_q, block_channels=block, axis=0)
+        return self._decode_blocks_sequential(block)
+
+    def _decode_blocks_sequential(self, block: int):
+        wq = self.weight_q
+        out_features = wq.shape[0]
+        for start in range(0, out_features, block):
+            stop = min(start + block, out_features)
+            yield start, stop, wq.dequantize_block(start, stop, axis=0)
 
 
 class QuantizedConv2d(QuantizedModule):
@@ -614,24 +692,29 @@ class QuantizedEmbedding(QuantizedModule):
 
         The classic memory-bound serving win — bytes moved scale with the
         batch's vocabulary footprint (1 byte/element + its row scale), not the
-        table size.  ``EmbeddingBag`` reductions fall back to the generic
-        transient-decode path.  Inference only.
+        table size.  Indices are deduplicated first, so a batch that looks the
+        same token up many times (padding, stop words, repeated prompts)
+        decodes each distinct row exactly once and fans the result back out
+        with the inverse permutation.  ``EmbeddingBag`` reductions fall back
+        to the generic transient-decode path.  Inference only.
         """
         if type(self.inner) is not Embedding:
             return super()._forward_streaming(indices, **kwargs)
         idx = np.asarray(indices, dtype=np.int64)
         wq = self.weight_q
+        unique, inverse = np.unique(idx, return_inverse=True)
         gathered = QuantizedTensor(
-            codes=wq.codes[idx],
-            scale=self._gather_param(np.asarray(wq.scale), idx, wq.ndim),
+            codes=wq.codes[unique],
+            scale=self._gather_param(np.asarray(wq.scale), unique, wq.ndim),
             fmt=wq.fmt,
             zero_point=(
                 None
                 if wq.zero_point is None
-                else self._gather_param(np.asarray(wq.zero_point), idx, wq.ndim)
+                else self._gather_param(np.asarray(wq.zero_point), unique, wq.ndim)
             ),
         )
-        return Tensor(gathered.dequantize())
+        # numpy < 2.0 returns a flat inverse; reshape is a no-op on >= 2.0
+        return Tensor(gathered.dequantize()[inverse.reshape(idx.shape)])
 
     @staticmethod
     def _gather_param(param: np.ndarray, idx: np.ndarray, weight_ndim: int) -> np.ndarray:

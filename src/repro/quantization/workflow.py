@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.synthetic import ArrayDataset, DataLoader
+from repro.fp8.quantize import is_memory_mapped
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
 from repro.quantization.bn_calibration import calibrate_batchnorm
@@ -255,12 +256,23 @@ def deploy_model(model: Module, serving_mode: Optional[str] = None) -> int:
     return count
 
 
-def set_serving_mode(model: Module, mode: str) -> int:
-    """Set the serving mode (``"cached"`` / ``"streaming"``) on every wrapper."""
+def set_serving_mode(
+    model: Module,
+    mode: str,
+    block_channels: Optional[int] = None,
+    prefetch: Optional[bool] = None,
+) -> int:
+    """Set the serving mode (``"cached"`` / ``"streaming"``) on every wrapper.
+
+    ``block_channels`` pins the streaming block size on every wrapper (the
+    per-module equivalent of the ``REPRO_STREAM_BLOCK`` environment variable);
+    ``prefetch`` toggles double-buffered block prefetch on operators with a
+    blocked streaming kernel.  ``None`` leaves either setting untouched.
+    """
     count = 0
     for _, module in model.named_modules():
         if isinstance(module, QuantizedModule):
-            module.set_serving_mode(mode)
+            module.set_serving_mode(mode, block_channels=block_channels, prefetch=prefetch)
             count += 1
     return count
 
@@ -281,25 +293,42 @@ def resident_report(model: Module) -> dict:
     dense shape), packed codes/scales, materialised dequant caches and any
     retained float32 originals.  ``fp32_bytes`` is what the same model costs
     with every parameter dense float32 — the serving benchmark's baseline.
+
+    mmap-loaded storage is counted separately: arrays backed by an
+    ``np.memmap`` view of the checkpoint file (``load_quantized(...,
+    mmap=True)``) occupy address space, not committed memory — the kernel
+    pages them in on first touch and may drop them again under pressure.
+    They land in ``mapped_bytes`` (deduplicated per mapping, so one mapped
+    checkpoint counts its file size once no matter how many views alias it),
+    while ``resident_bytes``/``ratio`` cover only materialised private
+    storage.  A cold mmap load therefore reports near-zero resident bytes
+    until a forward touches the codes.
     """
     storages = {}
+    mapped = {}
     fp32_bytes = 0
+
+    def _tally(array: np.ndarray) -> None:
+        base = _storage_base(array)
+        if is_memory_mapped(base):
+            mapped[id(base)] = base.nbytes
+        else:
+            storages[id(base)] = base.nbytes
+
     for _, param in model.named_parameters():
-        base = _storage_base(param.data)
-        storages[id(base)] = base.nbytes
+        _tally(param.data)
         fp32_bytes += param.data.size * 4
     for _, buf in model.named_buffers():
-        base = _storage_base(buf)
-        storages[id(base)] = base.nbytes
+        _tally(buf)
         fp32_bytes += np.asarray(buf).size * 4
     for _, module in model.named_modules():
         if isinstance(module, QuantizedModule):
             for array in module.weight_resident_arrays():
-                base = _storage_base(array)
-                storages[id(base)] = base.nbytes
+                _tally(array)
     resident = int(sum(storages.values()))
     return {
         "resident_bytes": resident,
+        "mapped_bytes": int(sum(mapped.values())),
         "fp32_bytes": int(fp32_bytes),
         "ratio": resident / fp32_bytes if fp32_bytes else 1.0,
     }

@@ -119,8 +119,8 @@ def _check_meta(meta: dict, path: str) -> dict:
     return meta
 
 
-def _validated_meta(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
-    arrays, meta = read_container(path)
+def _validated_meta(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
+    arrays, meta = read_container(path, mmap=mmap)
     return arrays, _check_meta(meta, path)
 
 
@@ -147,6 +147,7 @@ def load_quantized(
     model_factory: ModelFactory,
     serving_mode: Optional[str] = None,
     strict: bool = True,
+    mmap: bool = False,
 ) -> Module:
     """Rebuild a converted model from a packed checkpoint — float32-free.
 
@@ -156,8 +157,18 @@ def load_quantized(
     the checkpoint's per-module configs, packed storage and calibration state
     are restored bit-identically, and the model comes back in restore-free
     deployment mode with ``serving_mode`` applied (default: as saved).
+
+    With ``mmap=True`` the packed payload is never copied: the wrappers'
+    ``weight_q`` codes/scales become read-only zero-copy views into the
+    mapped file (see :func:`repro.serialization.container.read_container`),
+    so load time is O(header + float leftovers) and the codes are paged in
+    by the kernel on first touch.  Small plain arrays (biases, BatchNorm
+    statistics, calibration snapshots) are still copied into the model's own
+    storage; only the dominant packed payloads stay mapped.
+    :func:`repro.quantization.workflow.resident_report` counts those mapped
+    bytes separately from materialised resident bytes.
     """
-    arrays, meta = _validated_meta(path)
+    arrays, meta = _validated_meta(path, mmap=mmap)
     state = unflatten_state(meta["state"], arrays)
 
     model = model_factory()

@@ -196,21 +196,37 @@ def read_header(path: str) -> dict:
     return header["meta"]
 
 
-def read_container(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
+def read_container(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
     """Read a checkpoint back into (arrays, meta).
 
-    Arrays are materialised as writable C-contiguous copies of the payload
-    bytes (no float32 weights are ever reconstructed here — codes come back
-    as the packed uint8/int8 they were written as).
+    With ``mmap=False`` (the default) arrays are materialised as writable
+    C-contiguous copies of the payload bytes (no float32 weights are ever
+    reconstructed here — codes come back as the packed uint8/int8 they were
+    written as).
+
+    With ``mmap=True`` no payload byte is copied at all: the file is mapped
+    once (read-only) and every array comes back as a zero-copy view into the
+    mapping — the 64-byte span alignment guarantees every view is itself
+    aligned.  Pages are faulted in by the kernel on first touch, so the read
+    is O(header) and cold resident bytes stay near zero until an array is
+    actually used.  The views are read-only; writing raises, and callers that
+    need a private mutable copy must take one explicitly.  Span validation is
+    identical to the copied path: a corrupt offset table raises
+    :class:`CheckpointError` before any view is built.
     """
     with open(path, "rb") as fh:
         header, payload_start = _read_header(fh, path)
         fh.seek(0, 2)
         file_size = fh.tell()
+        spans = _validated_spans(header, payload_start, file_size, path)
         arrays: Dict[str, np.ndarray] = {}
-        for name, dtype, shape, nbytes, start in _validated_spans(
-            header, payload_start, file_size, path
-        ):
+        if mmap:
+            mapping = np.memmap(path, dtype=np.uint8, mode="r")
+            for name, dtype, shape, nbytes, start in spans:
+                view = mapping[start : start + nbytes].view(dtype).reshape(shape)
+                arrays[name] = view
+            return arrays, header["meta"]
+        for name, dtype, shape, nbytes, start in spans:
             fh.seek(start)
             # read straight into the writable buffer frombuffer will wrap —
             # one copy of the payload in memory, not two

@@ -1,0 +1,23 @@
+"""Serving layer: request batching and decode/compute overlap.
+
+The throughput side of deployment, on top of the packed storage and
+streaming serving modes:
+
+* :class:`~repro.serving.engine.ServingEngine` — a request queue that fuses
+  compatible single-sample requests (stack, or pad along axis 0) into one
+  forward call, amortising the streaming path's per-forward decode cost
+  across the whole batch;
+* :class:`~repro.serving.prefetch.BlockPrefetcher` — double-buffered block
+  decode for streaming ``QuantizedLinear``: a background thread decodes
+  block *k+1* while the main thread runs block *k*'s matmul
+  (enable via ``set_serving_mode(model, "streaming", prefetch=True)``).
+
+Pair with ``load_quantized(..., mmap=True)`` for the cold-start half:
+``ServingEngine.from_checkpoint`` wires mmap load, serving mode, block size,
+prefetch and the engine in one call.
+"""
+
+from repro.serving.engine import ServingEngine
+from repro.serving.prefetch import BlockPrefetcher
+
+__all__ = ["ServingEngine", "BlockPrefetcher"]

@@ -1,0 +1,323 @@
+"""Batched serving engine: a request queue in front of one model.
+
+Deployment serves many concurrent single-sample requests, but the streaming
+weight path pays its decode cost *per forward call* — so the throughput win
+is to run one forward for many requests.  :class:`ServingEngine` does exactly
+that: callers :meth:`~ServingEngine.submit` individual samples and get a
+:class:`concurrent.futures.Future` back; a background driver thread drains
+the queue, groups **compatible** requests, stacks (or pads) each group into
+one batch, runs a single forward, and fans the rows back out to the waiting
+futures.
+
+Compatibility and padding
+-------------------------
+Two samples can share a forward call when stacking them is meaningful:
+
+* rank-0/rank-1 samples (feature vectors) must have identical shapes and are
+  stacked along a new leading axis;
+* rank >= 2 samples (e.g. ``(seq_len, features)``) must agree on every
+  dimension except the first; shorter samples are padded along axis 0 with
+  ``pad_value`` up to the group's maximum length, and each output is sliced
+  back to its own length.  Slicing assumes the model preserves the leading
+  axis — declare ``slice_padded_outputs=False`` for models that reduce over
+  it (outputs are then handed back unsliced).
+
+Cancelling a submitted future is safe: a request cancelled while queued is
+skipped when its batch is served (the driver marks futures RUNNING before
+the forward, after which cancellation is no longer possible).
+
+Latency/throughput trade-off: a batch closes when it reaches
+``max_batch_size`` or when ``max_wait_ms`` elapses after its first request —
+a lone request therefore never waits longer than ``max_wait_ms``.
+
+The engine never touches serving modes itself; combine it with
+``load_quantized(..., mmap=True)`` and
+``set_serving_mode(model, "streaming", prefetch=True)`` (or use
+:meth:`ServingEngine.from_checkpoint`, which wires all three) for the full
+cold-start-to-throughput path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+
+__all__ = ["ServingEngine"]
+
+#: queue sentinel that wakes the driver for shutdown
+_SHUTDOWN = object()
+
+
+class _Request:
+    __slots__ = ("sample", "future")
+
+    def __init__(self, sample: np.ndarray, future: Future) -> None:
+        self.sample = sample
+        self.future = future
+
+
+def _compat_key(sample: np.ndarray):
+    """Group key: which requests may share one stacked/padded forward call."""
+    if sample.ndim <= 1:
+        return ("exact", sample.dtype.str, sample.shape)
+    return ("padded", sample.dtype.str, sample.ndim, sample.shape[1:])
+
+
+class ServingEngine:
+    """Queue + batcher + driver thread around a single served model.
+
+    Parameters
+    ----------
+    model:
+        The served model (typically converted + deployed; any callable
+        ``Module`` works).  The engine runs every forward under ``no_grad``.
+    max_batch_size:
+        Upper bound on requests fused into one forward call.
+    max_wait_ms:
+        How long a batch may wait for co-riders after its first request.
+    pad_value:
+        Fill value for axis-0 padding of rank >= 2 groups.
+    slice_padded_outputs:
+        Contract for padded variable-length groups.  ``True`` (default)
+        declares that the model preserves the leading (sequence) axis, so
+        each padded request's output is sliced back to its own length.  Set
+        ``False`` for models that *reduce* over the sequence axis (pooling,
+        classification heads): outputs are then returned unsliced.  This is
+        an explicit declaration, not a runtime shape guess — with the wrong
+        setting a sequence-reducing model whose feature width happens to
+        equal the padded length would be silently truncated.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        pad_value: float = 0.0,
+        slice_padded_outputs: bool = True,
+    ) -> None:
+        if int(max_batch_size) < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size!r}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
+        self.model = model
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.pad_value = pad_value
+        self.slice_padded_outputs = bool(slice_padded_outputs)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "padded_requests": 0,
+            "failed_requests": 0,
+            "max_batch": 0,
+        }
+        self._driver = threading.Thread(target=self._drive, name="repro-serving", daemon=True)
+        self._driver.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle / convenience construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        model_factory: Callable[[], Module],
+        mmap: bool = True,
+        serving_mode: str = "streaming",
+        block_channels: Optional[int] = None,
+        prefetch: Optional[bool] = True,
+        **engine_kwargs,
+    ) -> "ServingEngine":
+        """The full cold-start wiring: mmap load → serving mode → engine.
+
+        Loads the packed checkpoint zero-copy (codes paged on first touch),
+        puts every wrapper into ``serving_mode`` with the requested block
+        size and prefetch setting, and returns a running engine.
+        """
+        # local import: repro.serialization pulls the quantization workflow,
+        # which this module must not require at import time
+        from repro.quantization.workflow import set_serving_mode
+        from repro.serialization import load_quantized
+
+        model = load_quantized(path, model_factory, mmap=mmap)
+        set_serving_mode(model, serving_mode, block_channels=block_channels, prefetch=prefetch)
+        return cls(model, **engine_kwargs)
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, serve everything already queued, stop the driver."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # under the same lock submit() uses: the sentinel is guaranteed
+            # to sit behind every accepted request, so the driver drains all
+            # of them before exiting
+            self._queue.put(_SHUTDOWN)
+        self._driver.join(timeout=timeout)
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request API
+    # ------------------------------------------------------------------
+    def submit(self, sample) -> Future:
+        """Enqueue one sample; the Future resolves to its output array."""
+        if isinstance(sample, Tensor):
+            sample = sample.data
+        sample = np.asarray(sample)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ServingEngine")
+            self._stats["requests"] += 1
+            # enqueue under the lock: close() flips _closed and enqueues its
+            # shutdown sentinel under the same lock, so a request that passed
+            # the check above can never land behind the sentinel (which would
+            # leave its future unresolved after the driver exits)
+            self._queue.put(_Request(sample, future))
+        return future
+
+    def serve(self, sample, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking single-request convenience: submit + wait."""
+        return self.submit(sample).result(timeout=timeout)
+
+    def serve_batch(self, samples: Sequence, timeout: Optional[float] = None) -> List[np.ndarray]:
+        """Submit a burst of samples and wait for all results (input order)."""
+        futures = [self.submit(sample) for sample in samples]
+        return [future.result(timeout=timeout) for future in futures]
+
+    @property
+    def stats(self) -> dict:
+        """Snapshot of served-traffic counters (requests, batches, padding...)."""
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["mean_batch"] = (
+            snapshot["batched_requests"] / snapshot["batches"] if snapshot["batches"] else 0.0
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def _drive(self) -> None:
+        shutting_down = False
+        while True:
+            if shutting_down:
+                # keep draining: everything submitted before close() is served
+                try:
+                    first = self._queue.get_nowait()
+                except queue.Empty:
+                    return
+            else:
+                # block until traffic arrives — close() always wakes us by
+                # enqueueing the sentinel, so no idle polling is needed
+                first = self._queue.get()
+            if first is _SHUTDOWN:
+                shutting_down = True
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if shutting_down:
+                    # no new arrivals can come after close(): just drain
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if item is _SHUTDOWN:
+                    shutting_down = True
+                    continue
+                batch.append(item)
+            self._serve_groups(batch)
+
+    def _serve_groups(self, batch: List[_Request]) -> None:
+        groups: dict = {}
+        for request in batch:
+            groups.setdefault(_compat_key(request.sample), []).append(request)
+        for requests in groups.values():
+            self._forward_group(requests)
+
+    def _forward_group(self, requests: List[_Request]) -> None:
+        # transition every future to RUNNING; a request cancelled while it
+        # waited in the queue is dropped here (and a RUNNING future can no
+        # longer be cancelled, so set_result/set_exception below cannot hit
+        # InvalidStateError and kill the driver thread)
+        requests = [r for r in requests if r.future.set_running_or_notify_cancel()]
+        if not requests:
+            return
+        samples = [request.sample for request in requests]
+        lengths = [sample.shape[0] if sample.ndim else 0 for sample in samples]
+        padded = samples[0].ndim >= 2 and len(set(lengths)) > 1
+        try:
+            if padded:
+                target = max(lengths)
+                stacked = np.full(
+                    (len(samples), target) + samples[0].shape[1:],
+                    self.pad_value,
+                    dtype=samples[0].dtype,
+                )
+                for row, sample in zip(stacked, samples):
+                    row[: sample.shape[0]] = sample
+            else:
+                stacked = np.stack(samples)
+            with no_grad():
+                output = self.model(Tensor(stacked))
+            output = output.data if isinstance(output, Tensor) else np.asarray(output)
+            if output.shape[0] != len(samples):
+                raise RuntimeError(
+                    f"model returned leading dimension {output.shape[0]} for a batch of "
+                    f"{len(samples)} requests; the served model must preserve the batch axis"
+                )
+        except BaseException as exc:  # noqa: BLE001 - failures belong to the futures
+            with self._lock:
+                self._stats["failed_requests"] += len(requests)
+            for request in requests:
+                request.future.set_exception(exc)
+            return
+        # count the batch before resolving any future: a client unblocked by
+        # set_result may read .stats immediately and must see this batch
+        with self._lock:
+            self._stats["batches"] += 1
+            self._stats["batched_requests"] += len(requests)
+            self._stats["padded_requests"] += len(requests) if padded else 0
+            self._stats["max_batch"] = max(self._stats["max_batch"], len(requests))
+        for index, request in enumerate(requests):
+            row = output[index]
+            if padded and self.slice_padded_outputs:
+                if row.ndim < 1 or row.shape[0] != stacked.shape[1]:
+                    request.future.set_exception(
+                        RuntimeError(
+                            f"padded group output has leading shape {row.shape}, expected "
+                            f"length {stacked.shape[1]}; the served model does not preserve "
+                            "the sequence axis — construct the engine with "
+                            "slice_padded_outputs=False"
+                        )
+                    )
+                    continue
+                row = row[: lengths[index]]
+            request.future.set_result(row)

@@ -207,3 +207,52 @@ class TestStateDictRoundTrip:
         state = qt.state_dict()
         assert set(state) == {"codes", "scale", "format"}
         assert all(isinstance(v, np.ndarray) for v in state.values())
+
+
+class TestDequantizeBlockEdges:
+    """Streaming-primitive edge cases: spans, granularities, zero points."""
+
+    @pytest.mark.parametrize("fmt", [E4M3, INT8_SYMMETRIC], ids=lambda f: f.name)
+    def test_block_span_past_axis_end_clamps(self, fmt):
+        qt = QuantizedTensor.quantize(_random((10, 6), seed=20), fmt, axis=0)
+        full = qt.dequantize()
+        block = qt.dequantize_block(8, 100, axis=0)
+        assert block.shape == (2, 6)
+        assert np.array_equal(block, full[8:])
+
+    @pytest.mark.parametrize("fmt", [E4M3, INT8_SYMMETRIC], ids=lambda f: f.name)
+    def test_single_block_covering_whole_axis(self, fmt):
+        qt = QuantizedTensor.quantize(_random((7, 5), seed=21), fmt, axis=0)
+        assert np.array_equal(qt.dequantize_block(0, 7, axis=0), qt.dequantize())
+        # block size larger than the dimension is the same single block
+        assert np.array_equal(qt.dequantize_block(0, 512, axis=0), qt.dequantize())
+
+    @pytest.mark.parametrize("fmt", [E4M3, INT8_SYMMETRIC], ids=lambda f: f.name)
+    def test_per_tensor_scale_passes_through_unsliced(self, fmt):
+        # axis=None -> one scalar scale shared by every block
+        qt = QuantizedTensor.quantize(_random((12, 4), seed=22), fmt, axis=None)
+        full = qt.dequantize()
+        for start in range(0, 12, 5):
+            stop = min(start + 5, 12)
+            assert np.array_equal(qt.dequantize_block(start, stop, axis=0), full[start:stop])
+
+    def test_int8_zero_point_path_slices_with_codes(self):
+        # shift the data so asymmetric INT8 uses genuinely non-zero zero points
+        x = _random((16, 8), seed=23) + 4.0
+        qt = QuantizedTensor.quantize(x, INT8_ASYMMETRIC, axis=0)
+        assert qt.zero_point is not None
+        assert np.any(np.asarray(qt.zero_point) != 0)
+        full = qt.dequantize()
+        for start in range(0, 16, 6):
+            stop = min(start + 6, 16)
+            assert np.array_equal(qt.dequantize_block(start, stop, axis=0), full[start:stop])
+
+    def test_blocks_along_non_leading_axis(self):
+        qt = QuantizedTensor.quantize(_random((6, 9), seed=24), E4M3, axis=1)
+        full = qt.dequantize()
+        block = qt.dequantize_block(3, 7, axis=1)
+        assert np.array_equal(block, full[:, 3:7])
+
+    def test_empty_block(self):
+        qt = QuantizedTensor.quantize(_random((4, 4), seed=25), E4M3, axis=0)
+        assert qt.dequantize_block(2, 2, axis=0).shape == (0, 4)

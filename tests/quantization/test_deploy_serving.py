@@ -224,3 +224,93 @@ class TestExtraStateRoundTrip:
         assert "0.inner.weight" not in state
         assert "0.inner.bias" in state
         assert "0._extra_state" in state
+
+
+class TestStreamingBlockConfig:
+    def _linear_wrapper(self):
+        rng = np.random.default_rng(11)
+        model = nn.Sequential(nn.Linear(16, 70, rng=rng))
+        result = quantize_model(model, standard_recipe("E4M3", approach=Approach.DYNAMIC))
+        return result.model, _wrappers(result.model)[0]
+
+    def test_set_serving_mode_block_channels_wins(self, monkeypatch):
+        model, wrapper = self._linear_wrapper()
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "48")
+        set_serving_mode(model, "streaming", block_channels=5)
+        assert wrapper.streaming_block_size() == 5
+
+    def test_env_var_overrides_class_default(self, monkeypatch):
+        _, wrapper = self._linear_wrapper()
+        assert wrapper.streaming_block_size() == type(wrapper).streaming_block_channels
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "12")
+        assert wrapper.streaming_block_size() == 12
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        _, wrapper = self._linear_wrapper()
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "lots")
+        with pytest.raises(ValueError, match="REPRO_STREAM_BLOCK"):
+            wrapper.streaming_block_size()
+
+    def test_invalid_block_channels_rejected(self):
+        _, wrapper = self._linear_wrapper()
+        with pytest.raises(ValueError, match="block_channels"):
+            wrapper.set_serving_mode("streaming", block_channels=0)
+
+    def test_block_size_changes_streaming_outputs_not(self, monkeypatch):
+        model, wrapper = self._linear_wrapper()
+        probe = _probe(shape=(5, 16))
+        cached_out = model(probe).data
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "7")  # 70 = 7 x 10
+        set_serving_mode(model, "streaming")
+        assert np.allclose(model(probe).data, cached_out, rtol=1e-5, atol=1e-6)
+
+    def test_prefetch_flag_roundtrips_through_set_serving_mode(self):
+        model, wrapper = self._linear_wrapper()
+        assert wrapper.streaming_prefetch is False
+        set_serving_mode(model, "streaming", prefetch=True)
+        assert wrapper.streaming_prefetch is True
+        set_serving_mode(model, "streaming")  # None leaves it untouched
+        assert wrapper.streaming_prefetch is True
+        set_serving_mode(model, "streaming", prefetch=False)
+        assert wrapper.streaming_prefetch is False
+
+
+class TestEmbeddingStreamingDedupe:
+    def _embedding(self, rows=40, dim=6):
+        rng = np.random.default_rng(13)
+        model = nn.Sequential(nn.Embedding(rows, dim, rng=rng))
+        result = quantize_model(model, standard_recipe("E4M3", approach=Approach.DYNAMIC))
+        set_serving_mode(result.model, "streaming")
+        return result.model, _wrappers(result.model)[0]
+
+    def test_duplicate_indices_decode_each_row_once(self, monkeypatch):
+        from repro.fp8 import kernels
+
+        model, wrapper = self._embedding()
+        decoded_rows = []
+        real = kernels.fp8_dequantize_channelwise
+
+        def _spy(codes, fmt, scale):
+            decoded_rows.append(codes.shape[0])
+            return real(codes, fmt, scale)
+
+        monkeypatch.setattr(kernels, "fp8_dequantize_channelwise", _spy)
+        indices = np.array([[3, 7, 3, 3], [7, 7, 3, 0]])  # 3 unique rows
+        model(indices)
+        assert decoded_rows == [3]
+
+    def test_deduped_gather_bit_identical_to_cached(self):
+        model, wrapper = self._embedding()
+        indices = np.array([[5, 5, 5], [2, 5, 39], [39, 39, 2]])
+        streaming_out = model(indices).data
+        set_serving_mode(model, "cached")
+        cached_out = model(indices).data
+        assert np.array_equal(streaming_out, cached_out)
+        assert streaming_out.shape == (3, 3, 6)
+
+    def test_all_identical_indices(self):
+        model, wrapper = self._embedding()
+        indices = np.full((4, 8), 17)
+        out = model(indices).data
+        set_serving_mode(model, "cached")
+        assert np.array_equal(out, model(indices).data)

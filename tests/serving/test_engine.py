@@ -1,0 +1,238 @@
+"""ServingEngine: batching, padding, grouping, lifecycle, failure paths."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.quantization import Approach, quantize_model, standard_recipe
+from repro.serving import ServingEngine
+
+
+def _mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(16, 32, rng=rng),
+        nn.ReLU(),
+        nn.Linear(32, 8, rng=rng),
+    ).eval()
+
+
+def _samples(count, shape=(16,), seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, shape).astype(np.float32) for _ in range(count)]
+
+
+class TestBatching:
+    def test_results_match_direct_forward(self):
+        model = _mlp()
+        samples = _samples(6)
+        with no_grad():
+            expected = model(Tensor(np.stack(samples))).data
+        with ServingEngine(model, max_batch_size=6, max_wait_ms=50) as engine:
+            outputs = engine.serve_batch(samples)
+        for out, exp in zip(outputs, expected):
+            assert np.allclose(out, exp, rtol=1e-5, atol=1e-6)
+
+    def test_requests_are_fused_into_batches(self):
+        model = _mlp()
+        with ServingEngine(model, max_batch_size=8, max_wait_ms=100) as engine:
+            engine.serve_batch(_samples(8))
+            stats = engine.stats
+        assert stats["requests"] == 8
+        assert stats["batches"] < 8  # at least some fusion happened
+        assert stats["max_batch"] > 1
+
+    def test_streaming_quantized_model_served(self):
+        result = quantize_model(
+            _mlp(),
+            standard_recipe("E4M3", approach=Approach.DYNAMIC),
+            deploy=True,
+            serving_mode="streaming",
+        )
+        samples = _samples(4)
+        with no_grad():
+            expected = result.model(Tensor(np.stack(samples))).data
+        with ServingEngine(result.model, max_batch_size=4, max_wait_ms=100) as engine:
+            outputs = engine.serve_batch(samples)
+        # one fused forward sees the same batch statistics -> bit-identical
+        # is not guaranteed across groupings, but the fused group matches
+        for out, exp in zip(outputs, expected):
+            assert np.allclose(out, exp, rtol=1e-4, atol=1e-5)
+
+    def test_single_request_serve(self):
+        model = _mlp()
+        sample = _samples(1)[0]
+        with no_grad():
+            expected = model(Tensor(sample[None])).data[0]
+        with ServingEngine(model, max_wait_ms=1) as engine:
+            out = engine.serve(sample, timeout=10)
+        assert np.allclose(out, expected, rtol=1e-5, atol=1e-6)
+
+
+class TestPaddingAndGrouping:
+    def test_variable_length_sequences_padded_and_sliced(self):
+        model = _mlp()
+        rng = np.random.default_rng(5)
+        seqs = [
+            rng.normal(0, 1, (length, 16)).astype(np.float32) for length in (3, 5, 2, 5)
+        ]
+        with no_grad():
+            expected = [model(Tensor(seq[None])).data[0] for seq in seqs]
+        with ServingEngine(model, max_batch_size=4, max_wait_ms=100, pad_value=0.0) as engine:
+            outputs = engine.serve_batch(seqs)
+            stats = engine.stats
+        for out, exp, seq in zip(outputs, expected, seqs):
+            assert out.shape == (seq.shape[0], 8)
+            assert np.allclose(out, exp, rtol=1e-5, atol=1e-6)
+        assert stats["padded_requests"] > 0
+
+    def test_incompatible_shapes_grouped_separately(self):
+        model = _mlp()
+        vec = _samples(2)  # rank-1: exact-shape group
+        seq = [np.random.default_rng(6).normal(0, 1, (4, 16)).astype(np.float32)]
+        with ServingEngine(model, max_batch_size=8, max_wait_ms=100) as engine:
+            outputs = engine.serve_batch(vec + seq)
+        assert outputs[0].shape == (8,)
+        assert outputs[2].shape == (4, 8)
+
+    def test_mismatched_rank1_shapes_never_stacked(self):
+        model = _mlp()
+        good = _samples(1)[0]
+        bad = np.zeros(7, dtype=np.float32)  # wrong feature count
+        with ServingEngine(model, max_batch_size=2, max_wait_ms=100) as engine:
+            good_future = engine.submit(good)
+            bad_future = engine.submit(bad)
+            assert good_future.result(timeout=10).shape == (8,)
+            with pytest.raises(Exception):
+                bad_future.result(timeout=10)
+
+
+class TestLifecycle:
+    def test_close_serves_pending_then_rejects(self):
+        model = _mlp()
+        engine = ServingEngine(model, max_batch_size=4, max_wait_ms=500)
+        futures = [engine.submit(sample) for sample in _samples(4)]
+        engine.close()
+        for future in futures:
+            assert future.result(timeout=10).shape == (8,)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit(_samples(1)[0])
+
+    def test_close_is_idempotent(self):
+        engine = ServingEngine(_mlp())
+        engine.close()
+        engine.close()
+
+    def test_forward_error_lands_on_futures_not_driver(self):
+        class Exploding(Module):
+            def forward(self, x):
+                raise RuntimeError("forward exploded")
+
+        engine = ServingEngine(Exploding(), max_wait_ms=1)
+        future = engine.submit(np.zeros(4, dtype=np.float32))
+        with pytest.raises(RuntimeError, match="forward exploded"):
+            future.result(timeout=10)
+        # the driver thread must survive the failure and keep serving
+        assert engine._driver.is_alive()
+        assert engine.stats["failed_requests"] == 1
+        engine.close()
+
+    def test_concurrent_submitters(self):
+        model = _mlp()
+        samples = _samples(24, seed=9)
+        with no_grad():
+            expected = [model(Tensor(sample[None])).data[0] for sample in samples]
+        results = [None] * len(samples)
+        with ServingEngine(model, max_batch_size=8, max_wait_ms=20) as engine:
+
+            def _client(index):
+                results[index] = engine.serve(samples[index], timeout=30)
+
+            threads = [
+                threading.Thread(target=_client, args=(index,)) for index in range(len(samples))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        for out, exp in zip(results, expected):
+            assert np.allclose(out, exp, rtol=1e-5, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServingEngine(_mlp(), max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ServingEngine(_mlp(), max_wait_ms=-1)
+
+
+class TestReviewRegressions:
+    def test_cancelled_future_does_not_kill_driver(self):
+        model = _mlp()
+        with ServingEngine(model, max_batch_size=2, max_wait_ms=200) as engine:
+            doomed = engine.submit(_samples(1)[0])
+            assert doomed.cancel()
+            survivor = engine.submit(_samples(1, seed=2)[0])
+            # the cancelled request is skipped; its batch-mate still resolves
+            assert survivor.result(timeout=10).shape == (8,)
+            assert engine._driver.is_alive()
+            assert doomed.cancelled()
+
+    def test_sequence_reducing_model_unsliced_when_declared(self):
+        class MeanPool(Module):
+            def forward(self, x):
+                return Tensor(x.data.mean(axis=1))  # (B, T, F) -> (B, F)
+
+        rng = np.random.default_rng(8)
+        # padded length 8 == feature width 8: the shape coincidence that a
+        # runtime guess would silently truncate on
+        seqs = [rng.normal(0, 1, (n, 8)).astype(np.float32) for n in (5, 8)]
+        with ServingEngine(
+            MeanPool(), max_batch_size=2, max_wait_ms=100, slice_padded_outputs=False
+        ) as engine:
+            outputs = engine.serve_batch(seqs)
+        assert outputs[0].shape == (8,)
+        assert outputs[1].shape == (8,)
+
+    def test_sequence_reducing_model_fails_loudly_when_undeclared(self):
+        class MeanPool(Module):
+            def forward(self, x):
+                return Tensor(x.data.mean(axis=1))  # leading axis reduced away
+
+        rng = np.random.default_rng(8)
+        seqs = [rng.normal(0, 1, (n, 16)).astype(np.float32) for n in (3, 6)]
+        engine = ServingEngine(MeanPool(), max_batch_size=2, max_wait_ms=100)
+        futures = [engine.submit(seq) for seq in seqs]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="slice_padded_outputs"):
+                future.result(timeout=10)
+        engine.close()
+
+    def test_no_grad_is_thread_local(self):
+        from repro.autograd.tensor import is_grad_enabled
+
+        seen = {}
+        release = threading.Event()
+        entered = threading.Event()
+
+        def _background():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+            seen["after_exit"] = is_grad_enabled()
+
+        worker = threading.Thread(target=_background)
+        worker.start()
+        assert entered.wait(timeout=10)
+        # the worker holding no_grad must not leak into this thread...
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+        release.set()
+        worker.join(timeout=10)
+        # ...and the worker restores its own (enabled) state on exit
+        assert seen["after_exit"] is True

@@ -1,0 +1,64 @@
+"""BlockPrefetcher: identical blocks, overlap plumbing, failure propagation."""
+
+import numpy as np
+import pytest
+
+from repro.fp8 import E4M3
+from repro.fp8.quantize import QuantizedTensor
+from repro.serving import BlockPrefetcher
+
+
+def _packed(shape=(70, 16), seed=0):
+    x = np.random.default_rng(seed).normal(0, 1, shape).astype(np.float32)
+    return QuantizedTensor.quantize(x, E4M3, axis=0)
+
+
+class TestBlockPrefetcher:
+    def test_blocks_bit_identical_to_sequential(self):
+        wq = _packed()
+        prefetched = list(BlockPrefetcher(wq, block_channels=32))
+        spans = [(s, e) for s, e in BlockPrefetcher(wq, block_channels=32).spans()]
+        assert spans == [(0, 32), (32, 64), (64, 70)]
+        assert [(s, e) for s, e, _ in prefetched] == spans
+        for start, stop, block in prefetched:
+            assert np.array_equal(block, wq.dequantize_block(start, stop, axis=0))
+
+    def test_reiterable(self):
+        prefetcher = BlockPrefetcher(_packed(), block_channels=16)
+        first = [b for *_, b in prefetcher]
+        second = [b for *_, b in prefetcher]
+        assert len(first) == len(second) == 5
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_single_block_tensor(self):
+        wq = _packed((8, 4))
+        blocks = list(BlockPrefetcher(wq, block_channels=512))
+        assert len(blocks) == 1
+        assert np.array_equal(blocks[0][2], wq.dequantize())
+
+    def test_depth_and_block_validation(self):
+        wq = _packed()
+        with pytest.raises(ValueError, match="block_channels"):
+            BlockPrefetcher(wq, block_channels=0)
+        with pytest.raises(ValueError, match="depth"):
+            BlockPrefetcher(wq, block_channels=8, depth=0)
+
+    def test_decode_error_propagates_to_consumer(self):
+        wq = _packed()
+
+        class _Boom(QuantizedTensor):
+            def dequantize_block(self, start, stop, axis=0):
+                if start >= 32:
+                    raise RuntimeError("decode exploded")
+                return super().dequantize_block(start, stop, axis=axis)
+
+        broken = _Boom(codes=wq.codes, scale=wq.scale, fmt=wq.fmt)
+        with pytest.raises(RuntimeError, match="decode exploded"):
+            list(BlockPrefetcher(broken, block_channels=32))
+
+    def test_early_abandonment_stops_worker(self):
+        wq = _packed((512, 8))
+        iterator = iter(BlockPrefetcher(wq, block_channels=8))
+        next(iterator)
+        iterator.close()  # must not hang or leak a blocked thread
