@@ -12,6 +12,7 @@ Run with:  python examples/quickstart.py
 
 import os
 import tempfile
+import time
 
 from repro.evaluation.reporting import format_table
 from repro.models.registry import build_task
@@ -74,11 +75,20 @@ def main() -> None:
         report = resident_report(served)
         served_metric = bundle.evaluate(served)
 
-        # 5. Serve it: batch concurrent single-sample requests into fused
-        #    forwards (one decode per batch, not per request).
+        # 5. Serve it: continuous batching fuses concurrent single-sample
+        #    requests into shared forwards (one decode per batch, not per
+        #    request).  Requests are submitted staggered — as they would
+        #    arrive from real clients — and still batch together, because
+        #    arrivals join the next forward of their in-flight compatibility
+        #    group instead of waiting for a drain.  A deadline bounds each
+        #    request's queue time; priorities would reorder admission.
         inputs = bundle.calib_data.inputs[:8]
         with ServingEngine(served, max_batch_size=8, max_wait_ms=5.0) as engine:
-            outputs = engine.serve_batch(list(inputs))
+            futures = []
+            for sample in inputs:
+                futures.append(engine.submit(sample, deadline_ms=500.0))
+                time.sleep(0.001)  # staggered arrivals, ~1ms apart
+            outputs = [future.result(timeout=30.0) for future in futures]
             engine_stats = engine.stats
         # release the mmap views before TemporaryDirectory unlinks the file
         # (deleting a still-mapped file fails on Windows)
@@ -92,8 +102,11 @@ def main() -> None:
         f"(converted model scored {e4m3_metric:.4f})"
     )
     print(
-        f"serving engine: {len(outputs)} requests in {engine_stats['batches']} "
-        f"batch(es), mean batch {engine_stats['mean_batch']:.1f}"
+        f"serving engine: {len(outputs)} staggered requests in {engine_stats['batches']} "
+        f"batch(es), mean batch {engine_stats['mean_batch']:.1f}, "
+        f"occupancy {engine_stats['occupancy_mean']:.2f}, "
+        f"queue wait p95 {engine_stats['queue_wait_p95_ms']:.1f} ms, "
+        f"forward p50 {engine_stats['forward_p50_ms']:.1f} ms"
     )
 
 

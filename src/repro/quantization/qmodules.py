@@ -45,7 +45,8 @@ footprint.  ``quantize_model(..., deploy=True)`` and
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -67,6 +68,7 @@ from repro.quantization.qconfig import (
 
 __all__ = [
     "SERVING_MODES",
+    "PREFETCH_MODES",
     "STREAM_BLOCK_ENV",
     "DEFAULT_STREAM_BLOCK",
     "TensorQuantizer",
@@ -86,6 +88,10 @@ __all__ = [
 #: valid post-conversion serving modes (see the module docstring)
 SERVING_MODES = ("cached", "streaming")
 
+#: valid streaming prefetch settings: off, per-layer double buffering, or
+#: cross-layer pipelined decode (see serving/prefetch.py)
+PREFETCH_MODES = (False, True, "pipeline")
+
 #: environment variable overriding the default streaming block size for every
 #: wrapper that has no explicit per-module setting
 STREAM_BLOCK_ENV = "REPRO_STREAM_BLOCK"
@@ -93,6 +99,38 @@ STREAM_BLOCK_ENV = "REPRO_STREAM_BLOCK"
 #: fallback output channels decoded per block in streaming mode when neither a
 #: per-module setting nor the environment variable is present
 DEFAULT_STREAM_BLOCK = 64
+
+#: invalid REPRO_STREAM_BLOCK values already warned about (warn once per value,
+#: not once per streaming forward)
+_STREAM_BLOCK_ENV_WARNED: set = set()
+
+
+def _stream_block_from_env() -> Optional[int]:
+    """The ``REPRO_STREAM_BLOCK`` override, or None when unset or invalid.
+
+    An env var is ambient configuration that may be set far from any forward
+    call, so an invalid value (non-integer, or < 1) must not explode deep
+    inside the streaming matmul: it warns once per distinct value and the
+    caller falls back to the class default instead.
+    """
+    env = os.environ.get(STREAM_BLOCK_ENV, "").strip()
+    if not env:
+        return None
+    try:
+        block = int(env)
+    except ValueError:
+        block = None
+    if block is None or block < 1:
+        if env not in _STREAM_BLOCK_ENV_WARNED:
+            _STREAM_BLOCK_ENV_WARNED.add(env)
+            warnings.warn(
+                f"ignoring {STREAM_BLOCK_ENV}={env!r}: must be a positive integer; "
+                f"falling back to the default streaming block size",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return None
+    return block
 
 
 class TensorQuantizer:
@@ -250,9 +288,12 @@ class QuantizedModule(Module):
     has_weight = True
     #: axis of the weight tensor that indexes output channels
     weight_channel_axis = 0
-    #: double-buffered block prefetch in streaming mode (honoured by operators
-    #: with a blocked streaming kernel; see serving/prefetch.py)
-    streaming_prefetch = False
+    #: streaming block prefetch setting (one of PREFETCH_MODES; honoured by
+    #: operators with a blocked streaming kernel; see serving/prefetch.py)
+    streaming_prefetch: Union[bool, str] = False
+    #: cross-layer pipeline coordinator wired by the workflow when
+    #: ``streaming_prefetch == "pipeline"`` (see workflow.set_serving_mode)
+    _pipeline = None
 
     def __init__(self, inner: Module, config: OperatorQuantConfig, name: str = "") -> None:
         super().__init__()
@@ -355,17 +396,22 @@ class QuantizedModule(Module):
         self,
         mode: str,
         block_channels: Optional[int] = None,
-        prefetch: Optional[bool] = None,
+        prefetch: Union[bool, str, None] = None,
     ) -> None:
         """Select how the packed weight is served: ``"cached"`` or ``"streaming"``.
 
         ``block_channels`` pins this module's streaming block size (output
         channels decoded per block); when left ``None`` the module falls back
         to the ``REPRO_STREAM_BLOCK`` environment variable, then to the class
-        default (see :meth:`streaming_block_size`).  ``prefetch`` toggles the
-        double-buffered block prefetcher for operators with a blocked
-        streaming kernel: a background thread decodes block *k+1* while block
-        *k*'s matmul runs.  ``None`` leaves either setting unchanged.
+        default (see :meth:`streaming_block_size`).  ``prefetch`` selects the
+        block prefetch strategy for operators with a blocked streaming
+        kernel: ``True`` enables the per-layer double-buffered prefetcher (a
+        background thread decodes block *k+1* while block *k*'s matmul runs),
+        ``"pipeline"`` additionally pipelines decode across consecutive
+        streaming layers via a shared pool (the model-level wiring lives in
+        :func:`repro.quantization.workflow.set_serving_mode`; without a wired
+        coordinator the module falls back to per-layer prefetch).  ``None``
+        leaves either setting unchanged.
         """
         if mode not in SERVING_MODES:
             raise ValueError(f"unknown serving mode {mode!r}; expected one of {SERVING_MODES}")
@@ -374,7 +420,14 @@ class QuantizedModule(Module):
                 raise ValueError(f"block_channels must be >= 1, got {block_channels!r}")
             self.streaming_block_channels = int(block_channels)
         if prefetch is not None:
-            self.streaming_prefetch = bool(prefetch)
+            if prefetch is not True and prefetch is not False and prefetch != "pipeline":
+                raise ValueError(
+                    f"unknown prefetch setting {prefetch!r}; expected one of {PREFETCH_MODES}"
+                )
+            self.streaming_prefetch = prefetch
+            if prefetch != "pipeline":
+                # a stale cross-layer coordinator must not outlive the setting
+                self._pipeline = None
         self.serving_mode = mode
         if mode == "streaming":
             self.drop_weight_cache()
@@ -385,20 +438,14 @@ class QuantizedModule(Module):
         Priority: an explicit per-module setting
         (``set_serving_mode(..., block_channels=)`` or direct assignment to
         ``streaming_block_channels``), then the ``REPRO_STREAM_BLOCK``
-        environment variable, then the class default.
+        environment variable (invalid values warn once and are ignored), then
+        the class default.
         """
         block = self.__dict__.get("streaming_block_channels")
         if block is None:
-            env = os.environ.get(STREAM_BLOCK_ENV, "").strip()
-            if env:
-                try:
-                    block = int(env)
-                except ValueError:
-                    raise ValueError(
-                        f"{STREAM_BLOCK_ENV} must be an integer, got {env!r}"
-                    ) from None
-            else:
-                block = getattr(type(self), "streaming_block_channels", DEFAULT_STREAM_BLOCK)
+            block = _stream_block_from_env()
+        if block is None:
+            block = getattr(type(self), "streaming_block_channels", DEFAULT_STREAM_BLOCK)
         return max(1, int(block))
 
     def _calibration_fallbacks(self) -> Sequence[Optional[np.ndarray]]:
@@ -650,8 +697,18 @@ class QuantizedLinear(QuantizedModule):
         return Tensor(y)
 
     def _iter_weight_blocks(self):
-        """Yield ``(start, stop, float32 block)`` over the packed weight's axis 0."""
+        """Yield ``(start, stop, float32 block)`` over the packed weight's axis 0.
+
+        Decode schedule by ``streaming_prefetch``: ``"pipeline"`` with a wired
+        coordinator streams from the model's shared cross-layer decode window
+        (layer k+1's head blocks decode while this layer's tail is consumed);
+        otherwise any truthy setting uses the per-layer double-buffered
+        prefetcher; ``False`` decodes inline.  All three produce bit-identical
+        blocks — only the schedule differs.
+        """
         block = self.streaming_block_size()
+        if self.streaming_prefetch == "pipeline" and self._pipeline is not None:
+            return self._pipeline.iter_blocks(self)
         if self.streaming_prefetch:
             # lazy import: the quantization layer must stay importable (and
             # fully functional) without the serving package in the loop

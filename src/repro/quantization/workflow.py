@@ -260,20 +260,44 @@ def set_serving_mode(
     model: Module,
     mode: str,
     block_channels: Optional[int] = None,
-    prefetch: Optional[bool] = None,
+    prefetch: Union[bool, str, None] = None,
 ) -> int:
     """Set the serving mode (``"cached"`` / ``"streaming"``) on every wrapper.
 
     ``block_channels`` pins the streaming block size on every wrapper (the
     per-module equivalent of the ``REPRO_STREAM_BLOCK`` environment variable);
-    ``prefetch`` toggles double-buffered block prefetch on operators with a
-    blocked streaming kernel.  ``None`` leaves either setting untouched.
+    ``prefetch`` selects block prefetch on operators with a blocked streaming
+    kernel: ``True`` for per-layer double buffering, ``"pipeline"`` for
+    cross-layer pipelined decode — this is where the model-level wiring
+    happens: one shared :class:`~repro.serving.prefetch.PipelinePrefetcher`
+    is built over the model's blocked streaming wrappers in module definition
+    order (the workflow's usual proxy for execution order) and attached to
+    each of them, so layer *k+1*'s first blocks decode while layer *k*
+    finishes.  ``None`` leaves either setting untouched.
     """
     count = 0
+    wrappers = []
     for _, module in model.named_modules():
         if isinstance(module, QuantizedModule):
             module.set_serving_mode(mode, block_channels=block_channels, prefetch=prefetch)
+            wrappers.append(module)
             count += 1
+    if prefetch == "pipeline" and mode == "streaming":
+        # lazy import: the quantization layer must stay importable without
+        # the serving package in the loop
+        from repro.serving.prefetch import PipelinePrefetcher
+
+        targets = [
+            module
+            for module in wrappers
+            if module.streaming_prefetch == "pipeline"
+            and module.weight_q is not None
+            and hasattr(module, "_iter_weight_blocks")
+        ]
+        if targets:
+            pipeline = PipelinePrefetcher(targets)
+            for module in targets:
+                module._pipeline = pipeline
     return count
 
 
@@ -284,7 +308,7 @@ def _storage_base(array: np.ndarray) -> np.ndarray:
     return array
 
 
-def resident_report(model: Module) -> dict:
+def resident_report(model: Union[Module, Sequence[Module]]) -> dict:
     """Actual bytes resident for the model's weights, deduplicated by storage.
 
     Unlike :func:`storage_report` (packed bytes *at rest*), this counts what
@@ -303,7 +327,14 @@ def resident_report(model: Module) -> dict:
     while ``resident_bytes``/``ratio`` cover only materialised private
     storage.  A cold mmap load therefore reports near-zero resident bytes
     until a forward touches the codes.
+
+    ``model`` may also be a sequence of modules — e.g. serving-engine
+    replicas.  Deduplication then spans the whole fleet: replicas loaded with
+    ``load_quantized(..., mmap=True, share_views=True)`` alias one file
+    mapping, so their shared checkpoint bytes are counted exactly once while
+    ``fp32_bytes`` still sums every replica's dense cost.
     """
+    models = list(model) if isinstance(model, (list, tuple)) else [model]
     storages = {}
     mapped = {}
     fp32_bytes = 0
@@ -315,16 +346,17 @@ def resident_report(model: Module) -> dict:
         else:
             storages[id(base)] = base.nbytes
 
-    for _, param in model.named_parameters():
-        _tally(param.data)
-        fp32_bytes += param.data.size * 4
-    for _, buf in model.named_buffers():
-        _tally(buf)
-        fp32_bytes += np.asarray(buf).size * 4
-    for _, module in model.named_modules():
-        if isinstance(module, QuantizedModule):
-            for array in module.weight_resident_arrays():
-                _tally(array)
+    for entry in models:
+        for _, param in entry.named_parameters():
+            _tally(param.data)
+            fp32_bytes += param.data.size * 4
+        for _, buf in entry.named_buffers():
+            _tally(buf)
+            fp32_bytes += np.asarray(buf).size * 4
+        for _, module in entry.named_modules():
+            if isinstance(module, QuantizedModule):
+                for array in module.weight_resident_arrays():
+                    _tally(array)
     resident = int(sum(storages.values()))
     return {
         "resident_bytes": resident,

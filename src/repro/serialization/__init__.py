@@ -19,6 +19,7 @@ from repro.serialization.container import (
     CONTAINER_VERSION,
     CheckpointError,
     CheckpointVersionError,
+    clear_mapping_cache,
     read_container,
     read_header,
     write_container,
@@ -43,6 +44,7 @@ __all__ = [
     "read_container",
     "read_header",
     "write_container",
+    "clear_mapping_cache",
     "flatten_state",
     "unflatten_state",
     "save_quantized",

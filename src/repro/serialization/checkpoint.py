@@ -119,8 +119,10 @@ def _check_meta(meta: dict, path: str) -> dict:
     return meta
 
 
-def _validated_meta(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
-    arrays, meta = read_container(path, mmap=mmap)
+def _validated_meta(
+    path: str, mmap: bool = False, share_views: bool = False
+) -> Tuple[Dict[str, np.ndarray], dict]:
+    arrays, meta = read_container(path, mmap=mmap, share_views=share_views)
     return arrays, _check_meta(meta, path)
 
 
@@ -148,6 +150,7 @@ def load_quantized(
     serving_mode: Optional[str] = None,
     strict: bool = True,
     mmap: bool = False,
+    share_views: bool = False,
 ) -> Module:
     """Rebuild a converted model from a packed checkpoint — float32-free.
 
@@ -167,8 +170,17 @@ def load_quantized(
     storage; only the dominant packed payloads stay mapped.
     :func:`repro.quantization.workflow.resident_report` counts those mapped
     bytes separately from materialised resident bytes.
+
+    ``share_views=True`` (requires ``mmap=True``) makes repeated loads of the
+    same checkpoint alias **one** process-wide file mapping instead of
+    mapping the file per load — the multi-worker serving pattern, where N
+    replica models share a single read-only mmap'd checkpoint and the packed
+    bytes on disk are mapped exactly once per process
+    (``resident_report([replica, ...])`` then counts them once too).
     """
-    arrays, meta = _validated_meta(path, mmap=mmap)
+    if share_views and not mmap:
+        raise ValueError("share_views=True requires mmap=True")
+    arrays, meta = _validated_meta(path, mmap=mmap, share_views=share_views)
     state = unflatten_state(meta["state"], arrays)
 
     model = model_factory()

@@ -23,7 +23,10 @@ or overlapping payloads are rejected before any array is built.
 from __future__ import annotations
 
 import json
+import os
 import struct
+import sys
+import threading
 from typing import Dict, Tuple
 
 import numpy as np
@@ -36,6 +39,7 @@ __all__ = [
     "write_container",
     "read_container",
     "read_header",
+    "clear_mapping_cache",
 ]
 
 CONTAINER_MAGIC = b"RPQCKPT\x00"
@@ -73,6 +77,73 @@ class CheckpointVersionError(CheckpointError):
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+#: process-wide cache of shared read-only file mappings, keyed by
+#: (realpath, inode, size, mtime_ns) so a rewritten or replaced checkpoint
+#: never serves stale bytes; guarded by _MAPPING_LOCK
+_MAPPINGS: Dict[tuple, np.memmap] = {}
+_MAPPING_LOCK = threading.Lock()
+
+
+def _shared_mapping(path: str) -> np.memmap:
+    """One read-only mapping per (file identity, version), reused across loads.
+
+    This is what makes N serving replicas of one checkpoint cost the file's
+    bytes once: every ``read_container(..., mmap=True, share_views=True)``
+    call for the same on-disk file returns views over the *same* ``np.memmap``
+    object, so the kernel backs them all with one set of page-cache pages and
+    ``resident_report`` (which deduplicates by storage base) counts the
+    mapping exactly once.  A file that changed size or mtime gets a fresh
+    mapping, and its stale predecessors are dropped from the cache (the
+    mapping itself lives on while any view references it).
+    """
+    real = os.path.realpath(path)
+    stat = os.stat(real)
+    # the inode catches replace-by-rename and same-size rewrites on
+    # filesystems whose mtime granularity is coarser than the rewrite
+    key = (real, stat.st_ino, stat.st_size, stat.st_mtime_ns)
+    with _MAPPING_LOCK:
+        mapping = _MAPPINGS.get(key)
+        if mapping is None:
+            _evict_unreferenced_locked()
+            for stale in [k for k in _MAPPINGS if k[0] == real and k != key]:
+                del _MAPPINGS[stale]
+            mapping = np.memmap(real, dtype=np.uint8, mode="r")
+            _MAPPINGS[key] = mapping
+    return mapping
+
+
+def _evict_unreferenced_locked() -> None:
+    """Drop cached mappings no checkpoint array references any more.
+
+    A mapping whose only remaining references are the cache's dict entry and
+    ``getrefcount``'s own argument pins a file descriptor and the file's
+    address-space mapping for nothing — e.g. after a serving process rotates
+    to a checkpoint at a *different* path and releases every model built on
+    the old one.  Evicting is always safe: live array views keep their
+    mapping alive through their ``base`` chain regardless of the cache, so
+    eviction only costs a future reload a fresh ``mmap`` call.  Runs on each
+    cache miss, bounding the cache to mappings that are actually in use
+    (plus the one being added).
+    """
+    for key in list(_MAPPINGS):
+        if sys.getrefcount(_MAPPINGS[key]) <= 2:  # the dict entry + the call argument
+            del _MAPPINGS[key]
+
+
+def clear_mapping_cache() -> int:
+    """Drop every cached shared mapping; returns how many were dropped.
+
+    Existing array views keep their mapping alive through their ``base``
+    chain — this only stops *future* loads from reusing the cached objects
+    (and releases the cache's own reference, e.g. before deleting a
+    checkpoint file on platforms that refuse to unlink mapped files).
+    """
+    with _MAPPING_LOCK:
+        count = len(_MAPPINGS)
+        _MAPPINGS.clear()
+    return count
 
 
 def _check_dtype(name: str, dtype: np.dtype) -> str:
@@ -196,7 +267,9 @@ def read_header(path: str) -> dict:
     return header["meta"]
 
 
-def read_container(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
+def read_container(
+    path: str, mmap: bool = False, share_views: bool = False
+) -> Tuple[Dict[str, np.ndarray], dict]:
     """Read a checkpoint back into (arrays, meta).
 
     With ``mmap=False`` (the default) arrays are materialised as writable
@@ -213,7 +286,16 @@ def read_container(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray]
     need a private mutable copy must take one explicitly.  Span validation is
     identical to the copied path: a corrupt offset table raises
     :class:`CheckpointError` before any view is built.
+
+    ``share_views=True`` (requires ``mmap=True``) additionally reuses one
+    process-wide mapping per on-disk file: repeated reads of the same
+    checkpoint — e.g. loading N serving replicas — alias the same
+    ``np.memmap`` object instead of mapping the file N times, so the packed
+    bytes are mapped exactly once per process (see :func:`_shared_mapping`
+    and :func:`clear_mapping_cache`).
     """
+    if share_views and not mmap:
+        raise ValueError("share_views=True requires mmap=True")
     with open(path, "rb") as fh:
         header, payload_start = _read_header(fh, path)
         fh.seek(0, 2)
@@ -221,7 +303,11 @@ def read_container(path: str, mmap: bool = False) -> Tuple[Dict[str, np.ndarray]
         spans = _validated_spans(header, payload_start, file_size, path)
         arrays: Dict[str, np.ndarray] = {}
         if mmap:
-            mapping = np.memmap(path, dtype=np.uint8, mode="r")
+            mapping = (
+                _shared_mapping(path)
+                if share_views
+                else np.memmap(path, dtype=np.uint8, mode="r")
+            )
             for name, dtype, shape, nbytes, start in spans:
                 view = mapping[start : start + nbytes].view(dtype).reshape(shape)
                 arrays[name] = view

@@ -1,23 +1,46 @@
-"""Serving layer: request batching and decode/compute overlap.
+"""Serving layer: continuous batching, multi-worker execution, decode overlap.
 
 The throughput side of deployment, on top of the packed storage and
 streaming serving modes:
 
-* :class:`~repro.serving.engine.ServingEngine` — a request queue that fuses
-  compatible single-sample requests (stack, or pad along axis 0) into one
-  forward call, amortising the streaming path's per-forward decode cost
-  across the whole batch;
+* :class:`~repro.serving.engine.ServingEngine` — N worker threads over a
+  continuous-batching scheduler: compatible single-sample requests fuse into
+  one forward call (stack, or pad along axis 0), newly-arrived requests join
+  the next forward of an in-flight compatibility group instead of waiting
+  for a drain, and per-request priorities/deadlines order admission;
+* :class:`~repro.serving.scheduler.ContinuousScheduler` — the engine-agnostic
+  per-compatibility-bucket admission core (deadline-aware windows,
+  :class:`~repro.serving.scheduler.DeadlineExceeded` on queue-time misses);
 * :class:`~repro.serving.prefetch.BlockPrefetcher` — double-buffered block
-  decode for streaming ``QuantizedLinear``: a background thread decodes
+  decode for one streaming ``QuantizedLinear``: a background thread decodes
   block *k+1* while the main thread runs block *k*'s matmul
-  (enable via ``set_serving_mode(model, "streaming", prefetch=True)``).
+  (``set_serving_mode(model, "streaming", prefetch=True)``);
+* :class:`~repro.serving.prefetch.PipelinePrefetcher` — cross-layer pipelined
+  decode: a shared pool slides a decode window across consecutive streaming
+  layers, so layer *k+1*'s first blocks decode while layer *k* finishes
+  (``set_serving_mode(model, "streaming", prefetch="pipeline")``).
 
-Pair with ``load_quantized(..., mmap=True)`` for the cold-start half:
-``ServingEngine.from_checkpoint`` wires mmap load, serving mode, block size,
-prefetch and the engine in one call.
+Pair with ``load_quantized(..., mmap=True)`` for the cold-start half;
+``share_views=True`` lets multi-worker replicas alias one file mapping.
+``ServingEngine.from_checkpoint(..., workers=N)`` wires mmap load, shared
+views, serving mode, prefetch and the engine in one call.
 """
 
 from repro.serving.engine import ServingEngine
-from repro.serving.prefetch import BlockPrefetcher
+from repro.serving.prefetch import BlockPrefetcher, PipelinePrefetcher
+from repro.serving.scheduler import (
+    ContinuousScheduler,
+    DeadlineExceeded,
+    Request,
+    compat_key,
+)
 
-__all__ = ["ServingEngine", "BlockPrefetcher"]
+__all__ = [
+    "ServingEngine",
+    "BlockPrefetcher",
+    "PipelinePrefetcher",
+    "ContinuousScheduler",
+    "DeadlineExceeded",
+    "Request",
+    "compat_key",
+]

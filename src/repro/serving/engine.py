@@ -1,13 +1,41 @@
-"""Batched serving engine: a request queue in front of one model.
+"""Continuous-batching serving engine: N workers over per-key request buckets.
 
 Deployment serves many concurrent single-sample requests, but the streaming
 weight path pays its decode cost *per forward call* — so the throughput win
 is to run one forward for many requests.  :class:`ServingEngine` does exactly
-that: callers :meth:`~ServingEngine.submit` individual samples and get a
-:class:`concurrent.futures.Future` back; a background driver thread drains
-the queue, groups **compatible** requests, stacks (or pads) each group into
-one batch, runs a single forward, and fans the rows back out to the waiting
-futures.
+that: callers :meth:`~ServingEngine.submit` individual samples (optionally
+with a priority and a deadline) and get a :class:`concurrent.futures.Future`
+back; worker threads pull **compatibility groups** from a
+:class:`~repro.serving.scheduler.ContinuousScheduler`, stack (or pad) each
+group into one batch, run a single forward, and fan the rows back out to the
+waiting futures.
+
+Continuous batching
+-------------------
+Unlike a collect-then-serve loop, admission never stops: requests arriving
+while a forward runs land in their compatibility bucket immediately and ride
+the *next* forward of that bucket's in-flight stream of groups — there is no
+drain barrier, and a mixed-key burst no longer fragments one time window into
+several underfilled forwards.  A bucket is handed to a worker when it is full
+(``max_batch_size``), when its admission window (``max_wait_ms`` after the
+bucket opened) expires, or early when a member's deadline requires it; a lone
+request therefore never waits longer than ``max_wait_ms``.  Scheduling order
+is priority (higher first), then deadline (earlier first), then arrival; a
+request whose deadline passes while still queued fails with
+:class:`~repro.serving.scheduler.DeadlineExceeded`.
+
+Multi-worker execution
+----------------------
+``workers=N`` runs N driver threads.  Pass a sequence of model replicas (one
+per worker) to give every worker its own module tree — the intended pattern
+is replicas that share one read-only mmap'd checkpoint via
+``load_quantized(..., mmap=True, share_views=True)``, so the packed bytes on
+disk are mapped exactly once per process no matter how many replicas serve
+them (:meth:`ServingEngine.from_checkpoint` wires this).  With a single model
+and ``workers>1`` every worker shares it; that is safe for the lock-free
+streaming kernels (blocked Linear matmul, Embedding gather-decode — they only
+read ``weight_q``) but not for wrappers that rebind transient weight caches
+in their forward.  Forwards run under the thread-local ``no_grad``.
 
 Compatibility and padding
 -------------------------
@@ -23,66 +51,62 @@ Two samples can share a forward call when stacking them is meaningful:
   it (outputs are then handed back unsliced).
 
 Cancelling a submitted future is safe: a request cancelled while queued is
-skipped when its batch is served (the driver marks futures RUNNING before
-the forward, after which cancellation is no longer possible).
+skipped when its group is served (workers mark futures RUNNING before the
+forward, after which cancellation is no longer possible).
 
-Latency/throughput trade-off: a batch closes when it reaches
-``max_batch_size`` or when ``max_wait_ms`` elapses after its first request —
-a lone request therefore never waits longer than ``max_wait_ms``.
+Observability: :attr:`ServingEngine.stats` reports counters plus queue-wait
+and forward-time percentiles (p50/p95) and per-group occupancy, so admission
+behaviour is visible, not inferred.
 
 The engine never touches serving modes itself; combine it with
-``load_quantized(..., mmap=True)`` and
-``set_serving_mode(model, "streaming", prefetch=True)`` (or use
+``load_quantized(..., mmap=True)`` and ``set_serving_mode(model,
+"streaming", prefetch="pipeline")`` (or use
 :meth:`ServingEngine.from_checkpoint`, which wires all three) for the full
 cold-start-to-throughput path.
 """
 
 from __future__ import annotations
 
-import queue
+import itertools
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
+from repro.serving.scheduler import ContinuousScheduler, Request, compat_key
 
 __all__ = ["ServingEngine"]
 
-#: queue sentinel that wakes the driver for shutdown
-_SHUTDOWN = object()
+#: how many recent samples the latency/occupancy reservoirs keep
+_STATS_WINDOW = 2048
 
 
-class _Request:
-    __slots__ = ("sample", "future")
-
-    def __init__(self, sample: np.ndarray, future: Future) -> None:
-        self.sample = sample
-        self.future = future
-
-
-def _compat_key(sample: np.ndarray):
-    """Group key: which requests may share one stacked/padded forward call."""
-    if sample.ndim <= 1:
-        return ("exact", sample.dtype.str, sample.shape)
-    return ("padded", sample.dtype.str, sample.ndim, sample.shape[1:])
+def _percentiles_ms(values: Sequence[float]) -> tuple:
+    if not values:
+        return 0.0, 0.0
+    p50, p95 = np.percentile(np.asarray(values, dtype=np.float64), [50.0, 95.0])
+    return float(p50) * 1e3, float(p95) * 1e3
 
 
 class ServingEngine:
-    """Queue + batcher + driver thread around a single served model.
+    """Request queue + continuous batcher + N worker threads around served models.
 
     Parameters
     ----------
     model:
-        The served model (typically converted + deployed; any callable
-        ``Module`` works).  The engine runs every forward under ``no_grad``.
+        The served model, or a sequence of model replicas (one per worker;
+        typically converted + deployed — any callable ``Module`` works).
+        Every forward runs under the thread-local ``no_grad``.
     max_batch_size:
         Upper bound on requests fused into one forward call.
     max_wait_ms:
-        How long a batch may wait for co-riders after its first request.
+        Admission window: how long a compatibility bucket may wait for
+        co-riders after its first request.
     pad_value:
         Fill value for axis-0 padding of rank >= 2 groups.
     slice_padded_outputs:
@@ -94,38 +118,79 @@ class ServingEngine:
         an explicit declaration, not a runtime shape guess — with the wrong
         setting a sequence-reducing model whose feature width happens to
         equal the padded length would be silently truncated.
+    workers:
+        Number of driver threads.  Defaults to one per replica (1 for a
+        single model).  With a single model and ``workers>1`` all workers
+        share it (see the module docstring for the thread-safety contract).
     """
 
     def __init__(
         self,
-        model: Module,
+        model: Union[Module, Sequence[Module]],
         max_batch_size: int = 8,
         max_wait_ms: float = 2.0,
         pad_value: float = 0.0,
         slice_padded_outputs: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
+        if isinstance(model, Module):
+            replicas = [model]
+        else:
+            replicas = list(model)
+            if not replicas or not all(isinstance(m, Module) for m in replicas):
+                raise TypeError("model must be a Module or a non-empty sequence of Modules")
+        if workers is None:
+            workers = len(replicas)
+        if int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        workers = int(workers)
+        if len(replicas) == 1:
+            replicas = replicas * workers
+        elif len(replicas) != workers:
+            raise ValueError(
+                f"got {len(replicas)} replicas for {workers} workers; pass a single "
+                "model (shared by every worker) or exactly one replica per worker"
+            )
         if int(max_batch_size) < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size!r}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
-        self.model = model
+        self.model = replicas[0]
+        self.replicas: List[Module] = replicas
+        self.workers = workers
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.pad_value = pad_value
         self.slice_padded_outputs = bool(slice_padded_outputs)
-        self._queue: queue.Queue = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
+        self._order = itertools.count()
         self._stats = {
             "requests": 0,
             "batches": 0,
             "batched_requests": 0,
             "padded_requests": 0,
             "failed_requests": 0,
+            "expired_requests": 0,
             "max_batch": 0,
         }
-        self._driver = threading.Thread(target=self._drive, name="repro-serving", daemon=True)
-        self._driver.start()
+        self._queue_wait_s: deque = deque(maxlen=_STATS_WINDOW)
+        self._forward_s: deque = deque(maxlen=_STATS_WINDOW)
+        self._group_sizes: deque = deque(maxlen=_STATS_WINDOW)
+        self._scheduler = ContinuousScheduler(
+            self.max_batch_size, self.max_wait_s, on_expired=self._note_expired
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._work,
+                args=(replica,),
+                name=f"repro-serving-{index}",
+                daemon=True,
+            )
+            for index, replica in enumerate(replicas)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # lifecycle / convenience construction
@@ -138,35 +203,60 @@ class ServingEngine:
         mmap: bool = True,
         serving_mode: str = "streaming",
         block_channels: Optional[int] = None,
-        prefetch: Optional[bool] = True,
+        prefetch: Union[bool, str, None] = True,
+        workers: int = 1,
         **engine_kwargs,
     ) -> "ServingEngine":
         """The full cold-start wiring: mmap load → serving mode → engine.
 
-        Loads the packed checkpoint zero-copy (codes paged on first touch),
-        puts every wrapper into ``serving_mode`` with the requested block
-        size and prefetch setting, and returns a running engine.
+        Loads ``workers`` replicas of the packed checkpoint zero-copy (codes
+        paged on first touch; with ``workers > 1`` and ``mmap=True`` the
+        replicas share **one** file mapping via ``share_views=True``, so the
+        packed bytes are mapped exactly once per process), puts every wrapper
+        into ``serving_mode`` with the requested block size and prefetch
+        setting (``prefetch="pipeline"`` enables cross-layer pipelined block
+        decode), and returns a running engine with one worker per replica.
         """
         # local import: repro.serialization pulls the quantization workflow,
         # which this module must not require at import time
         from repro.quantization.workflow import set_serving_mode
         from repro.serialization import load_quantized
 
-        model = load_quantized(path, model_factory, mmap=mmap)
-        set_serving_mode(model, serving_mode, block_channels=block_channels, prefetch=prefetch)
-        return cls(model, **engine_kwargs)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        replicas = []
+        for _ in range(workers):
+            replica = load_quantized(
+                path, model_factory, mmap=mmap, share_views=bool(mmap) and workers > 1
+            )
+            set_serving_mode(
+                replica, serving_mode, block_channels=block_channels, prefetch=prefetch
+            )
+            replicas.append(replica)
+        return cls(replicas if workers > 1 else replicas[0], workers=workers, **engine_kwargs)
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting requests, serve everything already queued, stop the driver."""
+        """Stop accepting requests, serve everything already queued, stop the workers.
+
+        Idempotent, and every call blocks until the workers have drained (or
+        ``timeout`` expires) — a second concurrent ``close()`` returning is
+        the same quiescence guarantee as the first.
+        """
         with self._lock:
-            if self._closed:
-                return
             self._closed = True
-            # under the same lock submit() uses: the sentinel is guaranteed
-            # to sit behind every accepted request, so the driver drains all
-            # of them before exiting
-            self._queue.put(_SHUTDOWN)
-        self._driver.join(timeout=timeout)
+        # admission stops under the same lock submit() uses, so nothing can
+        # land in the scheduler after close(); workers drain what is queued
+        self._scheduler.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+
+    @property
+    def alive_workers(self) -> int:
+        """How many worker threads are currently running (for liveness checks)."""
+        return sum(thread.is_alive() for thread in self._threads)
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -177,102 +267,139 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # request API
     # ------------------------------------------------------------------
-    def submit(self, sample) -> Future:
-        """Enqueue one sample; the Future resolves to its output array."""
+    def submit(
+        self,
+        sample,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one sample; the Future resolves to its output array.
+
+        ``priority`` orders scheduling (higher served first); ``deadline_ms``
+        is a queue-time budget — the bucket closes early to start the forward
+        before the deadline, and a request still queued past it fails with
+        :class:`~repro.serving.scheduler.DeadlineExceeded`.
+        """
         if isinstance(sample, Tensor):
             sample = sample.data
         sample = np.asarray(sample)
+        if deadline_ms is not None and deadline_ms <= 0:
+            # a zero budget can never be met (the clock has moved by the
+            # time any worker could pop the request): reject it loudly
+            # instead of guaranteeing a DeadlineExceeded
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms!r}")
         future: Future = Future()
+        now = time.monotonic()
+        request = Request(
+            sample,
+            future,
+            priority=priority,
+            deadline=None if deadline_ms is None else now + float(deadline_ms) / 1000.0,
+            submitted=now,
+            key=compat_key(sample),
+            order=next(self._order),
+        )
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed ServingEngine")
             self._stats["requests"] += 1
-            # enqueue under the lock: close() flips _closed and enqueues its
-            # shutdown sentinel under the same lock, so a request that passed
-            # the check above can never land behind the sentinel (which would
-            # leave its future unresolved after the driver exits)
-            self._queue.put(_Request(sample, future))
+            # admit under the lock: close() flips _closed under the same lock,
+            # so a request that passed the check above can never be added
+            # after the scheduler closed (which would raise, or leave its
+            # future unresolved after the workers exit)
+            self._scheduler.add(request)
         return future
 
-    def serve(self, sample, timeout: Optional[float] = None) -> np.ndarray:
+    def serve(
+        self,
+        sample,
+        timeout: Optional[float] = None,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
         """Blocking single-request convenience: submit + wait."""
-        return self.submit(sample).result(timeout=timeout)
+        return self.submit(sample, priority=priority, deadline_ms=deadline_ms).result(
+            timeout=timeout
+        )
 
-    def serve_batch(self, samples: Sequence, timeout: Optional[float] = None) -> List[np.ndarray]:
-        """Submit a burst of samples and wait for all results (input order)."""
-        futures = [self.submit(sample) for sample in samples]
-        return [future.result(timeout=timeout) for future in futures]
+    def serve_batch(
+        self,
+        samples: Sequence,
+        timeout: Optional[float] = None,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Submit a burst of samples and wait for all results (input order).
+
+        ``timeout`` is a **shared deadline** for the whole burst, not a
+        per-future allowance: waiting for result *k* consumes budget from the
+        same clock as result *k+1*, so the call never blocks longer than
+        ``timeout`` in total (it used to wait up to ``timeout × len(samples)``).
+        """
+        futures = [
+            self.submit(sample, priority=priority, deadline_ms=deadline_ms) for sample in samples
+        ]
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        results = []
+        for future in futures:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            results.append(future.result(timeout=remaining))
+        return results
 
     @property
     def stats(self) -> dict:
-        """Snapshot of served-traffic counters (requests, batches, padding...)."""
+        """Snapshot of served-traffic counters plus latency/occupancy metrics.
+
+        Beyond the raw counters: ``queue_wait_p50_ms``/``queue_wait_p95_ms``
+        (submit → forward start), ``forward_p50_ms``/``forward_p95_ms`` (model
+        call alone) and ``occupancy_mean`` (mean group size as a fraction of
+        ``max_batch_size``) over a sliding window of recent groups.
+        """
         with self._lock:
             snapshot = dict(self._stats)
+            waits = list(self._queue_wait_s)
+            forwards = list(self._forward_s)
+            sizes = list(self._group_sizes)
         snapshot["mean_batch"] = (
             snapshot["batched_requests"] / snapshot["batches"] if snapshot["batches"] else 0.0
         )
+        snapshot["workers"] = self.workers
+        snapshot["pending"] = self._scheduler.pending()
+        occupancy = float(np.mean(sizes)) / self.max_batch_size if sizes else 0.0
+        snapshot["occupancy_mean"] = occupancy
+        snapshot["queue_wait_p50_ms"], snapshot["queue_wait_p95_ms"] = _percentiles_ms(waits)
+        snapshot["forward_p50_ms"], snapshot["forward_p95_ms"] = _percentiles_ms(forwards)
         return snapshot
 
+    def _note_expired(self, count: int) -> None:
+        with self._lock:
+            self._stats["expired_requests"] += count
+            self._stats["failed_requests"] += count
+
     # ------------------------------------------------------------------
-    # driver
+    # workers
     # ------------------------------------------------------------------
-    def _drive(self) -> None:
-        shutting_down = False
+    def _work(self, model: Module) -> None:
         while True:
-            if shutting_down:
-                # keep draining: everything submitted before close() is served
-                try:
-                    first = self._queue.get_nowait()
-                except queue.Empty:
-                    return
-            else:
-                # block until traffic arrives — close() always wakes us by
-                # enqueueing the sentinel, so no idle polling is needed
-                first = self._queue.get()
-            if first is _SHUTDOWN:
-                shutting_down = True
-                continue
-            batch = [first]
-            deadline = time.monotonic() + self.max_wait_s
-            while len(batch) < self.max_batch_size:
-                if shutting_down:
-                    # no new arrivals can come after close(): just drain
-                    try:
-                        item = self._queue.get_nowait()
-                    except queue.Empty:
-                        break
-                else:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    try:
-                        item = self._queue.get(timeout=remaining)
-                    except queue.Empty:
-                        break
-                if item is _SHUTDOWN:
-                    shutting_down = True
-                    continue
-                batch.append(item)
-            self._serve_groups(batch)
+            group = self._scheduler.next_group()
+            if group is None:
+                return
+            self._forward_group(group, model)
 
-    def _serve_groups(self, batch: List[_Request]) -> None:
-        groups: dict = {}
-        for request in batch:
-            groups.setdefault(_compat_key(request.sample), []).append(request)
-        for requests in groups.values():
-            self._forward_group(requests)
-
-    def _forward_group(self, requests: List[_Request]) -> None:
+    def _forward_group(self, requests: List[Request], model: Module) -> None:
         # transition every future to RUNNING; a request cancelled while it
         # waited in the queue is dropped here (and a RUNNING future can no
         # longer be cancelled, so set_result/set_exception below cannot hit
-        # InvalidStateError and kill the driver thread)
+        # InvalidStateError and kill the worker thread)
         requests = [r for r in requests if r.future.set_running_or_notify_cancel()]
         if not requests:
             return
+        started = time.monotonic()
+        waits = [started - request.submitted for request in requests]
         samples = [request.sample for request in requests]
         lengths = [sample.shape[0] if sample.ndim else 0 for sample in samples]
         padded = samples[0].ndim >= 2 and len(set(lengths)) > 1
+        forward_s = None
         try:
             if padded:
                 target = max(lengths)
@@ -285,8 +412,10 @@ class ServingEngine:
                     row[: sample.shape[0]] = sample
             else:
                 stacked = np.stack(samples)
+            t0 = time.perf_counter()
             with no_grad():
-                output = self.model(Tensor(stacked))
+                output = model(Tensor(stacked))
+            forward_s = time.perf_counter() - t0
             output = output.data if isinstance(output, Tensor) else np.asarray(output)
             if output.shape[0] != len(samples):
                 raise RuntimeError(
@@ -296,6 +425,9 @@ class ServingEngine:
         except BaseException as exc:  # noqa: BLE001 - failures belong to the futures
             with self._lock:
                 self._stats["failed_requests"] += len(requests)
+                self._queue_wait_s.extend(waits)
+                if forward_s is not None:
+                    self._forward_s.append(forward_s)
             for request in requests:
                 request.future.set_exception(exc)
             return
@@ -306,6 +438,9 @@ class ServingEngine:
             self._stats["batched_requests"] += len(requests)
             self._stats["padded_requests"] += len(requests) if padded else 0
             self._stats["max_batch"] = max(self._stats["max_batch"], len(requests))
+            self._queue_wait_s.extend(waits)
+            self._forward_s.append(forward_s)
+            self._group_sizes.append(len(requests))
         for index, request in enumerate(requests):
             row = output[index]
             if padded and self.slice_padded_outputs:

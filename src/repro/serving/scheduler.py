@@ -1,0 +1,277 @@
+"""Continuous-batching scheduler: per-key admission with deadlines and priorities.
+
+PR 4's engine served in lock-step: collect a time window of requests, split it
+by compatibility, forward every group, and only then collect again.  Requests
+arriving while a forward ran waited behind a drain barrier, and a mixed-key
+window fragmented into several underfilled forwards — expensive on the
+streaming path, where each forward pays the full block-decode cost no matter
+how few rows ride it.
+
+:class:`ContinuousScheduler` replaces the window with **per-compatibility
+buckets** and continuous admission:
+
+* every request lands in the bucket for its :func:`compat_key` the moment it
+  arrives — including while workers are mid-forward, so arrivals join the
+  *next* forward of an in-flight stream of groups instead of waiting for a
+  drain;
+* a bucket becomes *ready* when it is full (``max_batch_size``), its admission
+  window (``max_wait_s`` after the bucket opened) expires, the scheduler is
+  closing, or a member's deadline is about to pass — a lone request therefore
+  still never waits longer than the admission window;
+* among ready buckets, workers are handed the one holding the most urgent
+  request, and within a bucket the most urgent ``max_batch_size`` requests go
+  first.  Urgency orders by priority (higher first), then deadline (earlier
+  first), then arrival.
+
+Deadlines are honoured on both sides of admission: a bucket closes early so a
+tight-deadline request starts before its deadline, and a request whose
+deadline passes while still queued fails with :class:`DeadlineExceeded`
+instead of silently running late.
+
+The scheduler is engine-agnostic: it never touches models or samples, only
+:class:`Request` records, and any number of worker threads may block in
+:meth:`~ContinuousScheduler.next_group` concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DeadlineExceeded", "Request", "ContinuousScheduler", "compat_key"]
+
+#: how far ahead of a deadline the admission window closes, so the forward
+#: can start before the deadline instead of expiring exactly on it
+_DEADLINE_GUARD_S = 0.002
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed before a worker could start its forward."""
+
+
+def compat_key(sample: np.ndarray) -> Tuple:
+    """Group key: which requests may share one stacked/padded forward call.
+
+    rank-0/rank-1 samples must match exactly and are stacked; rank >= 2
+    samples must agree on every dimension except the first (they are padded
+    along axis 0 by the engine).
+    """
+    if sample.ndim <= 1:
+        return ("exact", sample.dtype.str, sample.shape)
+    return ("padded", sample.dtype.str, sample.ndim, sample.shape[1:])
+
+
+class Request:
+    """One queued sample plus its future and scheduling attributes."""
+
+    __slots__ = ("sample", "future", "priority", "deadline", "submitted", "key", "order")
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        future: Future,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        submitted: Optional[float] = None,
+        key: Optional[Tuple] = None,
+        order: int = 0,
+    ) -> None:
+        self.sample = sample
+        self.future = future
+        self.priority = int(priority)
+        self.deadline = deadline
+        self.submitted = time.monotonic() if submitted is None else submitted
+        self.key = compat_key(sample) if key is None else key
+        self.order = order
+
+    def urgency(self) -> Tuple[int, float, int]:
+        """Sort key: higher priority, then earlier deadline, then arrival order."""
+        return (
+            -self.priority,
+            math.inf if self.deadline is None else self.deadline,
+            self.order,
+        )
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def fail(self, exc: BaseException) -> bool:
+        """Resolve the future with ``exc`` unless it was already cancelled."""
+        if self.future.set_running_or_notify_cancel():
+            self.future.set_exception(exc)
+            return True
+        return False
+
+
+class ContinuousScheduler:
+    """Thread-safe per-compatibility-bucket admission for N worker threads.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on requests handed out per group.
+    max_wait_s:
+        Admission window: how long a bucket may wait for co-riders after its
+        first (oldest pending) request opened it.
+    on_expired:
+        Optional callback invoked with the number of requests that were failed
+        with :class:`DeadlineExceeded` (used by the engine's stats).
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        max_wait_s: float,
+        on_expired: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if int(max_batch_size) < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size!r}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s!r}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._on_expired = on_expired
+        self._cond = threading.Condition()
+        self._buckets: Dict[Tuple, List[Request]] = {}
+        #: when each bucket's admission window opened = the arrival time of
+        #: its oldest pending request
+        self._opened: Dict[Tuple, float] = {}
+        #: cached per-bucket (min urgency, earliest deadline or None) so a
+        #: scheduling decision is O(buckets), not O(total pending requests);
+        #: maintained incrementally on add, recomputed from leftovers on pop
+        self._meta: Dict[Tuple, Tuple] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def add(self, request: Request) -> None:
+        """Admit one request into its compatibility bucket (wakes waiting workers)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot add to a closed scheduler")
+            bucket = self._buckets.setdefault(request.key, [])
+            if not bucket:
+                self._opened[request.key] = request.submitted
+                self._meta[request.key] = (request.urgency(), request.deadline)
+            else:
+                urgency, deadline = self._meta[request.key]
+                if request.deadline is not None:
+                    deadline = (
+                        request.deadline if deadline is None else min(deadline, request.deadline)
+                    )
+                self._meta[request.key] = (min(urgency, request.urgency()), deadline)
+            bucket.append(request)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop admission; queued requests stay servable until drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pending(self) -> int:
+        with self._cond:
+            return sum(len(bucket) for bucket in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    # consumer side (worker threads)
+    # ------------------------------------------------------------------
+    def next_group(self) -> Optional[List[Request]]:
+        """Block until a group is ready; ``None`` once closed and drained.
+
+        Expired requests are failed with :class:`DeadlineExceeded` (outside
+        the scheduler lock — future resolution may run client callbacks) and
+        never appear in a returned group.
+        """
+        while True:
+            with self._cond:
+                while True:
+                    now = time.monotonic()
+                    key = self._ready_key_locked(now)
+                    if key is not None:
+                        group, dropped = self._pop_locked(key, now)
+                        break
+                    if self._closed and not any(self._buckets.values()):
+                        return None
+                    self._cond.wait(timeout=self._next_ready_in_locked(now))
+            expired = 0
+            for request in dropped:
+                # a request cancelled by its client is not an expiry — fail()
+                # reports whether the DeadlineExceeded actually landed
+                expired += request.fail(
+                    DeadlineExceeded(
+                        f"request deadline passed after {now - request.submitted:.3f}s in queue"
+                    )
+                )
+            if expired and self._on_expired is not None:
+                self._on_expired(expired)
+            if group:
+                return group
+
+    # ------------------------------------------------------------------
+    # internals (all *_locked methods assume self._cond is held)
+    # ------------------------------------------------------------------
+    def _ready_at_locked(self, key: Tuple) -> float:
+        """When the bucket's admission window closes (deadline-aware)."""
+        ready_at = self._opened[key] + self.max_wait_s
+        deadline = self._meta[key][1]
+        if deadline is not None:
+            ready_at = min(ready_at, deadline - _DEADLINE_GUARD_S)
+        return ready_at
+
+    def _is_ready_locked(self, key: Tuple, now: float) -> bool:
+        bucket = self._buckets[key]
+        if self._closed or len(bucket) >= self.max_batch_size:
+            return True
+        return now >= self._ready_at_locked(key)
+
+    def _ready_key_locked(self, now: float) -> Optional[Tuple]:
+        """The ready bucket holding the globally most urgent request, if any."""
+        best_key = None
+        best_urgency = None
+        for key, bucket in self._buckets.items():
+            if not bucket or not self._is_ready_locked(key, now):
+                continue
+            head = self._meta[key][0]
+            if best_urgency is None or head < best_urgency:
+                best_key, best_urgency = key, head
+        return best_key
+
+    def _next_ready_in_locked(self, now: float) -> Optional[float]:
+        """Seconds until the earliest bucket becomes ready (None = wait for traffic)."""
+        waits = [
+            self._ready_at_locked(key) - now for key, bucket in self._buckets.items() if bucket
+        ]
+        if not waits:
+            return None
+        return max(min(waits), 1e-4)
+
+    def _pop_locked(self, key: Tuple, now: float) -> Tuple[List[Request], List[Request]]:
+        """Take the most urgent ``max_batch_size`` alive requests from ``key``."""
+        bucket = self._buckets[key]
+        alive = [r for r in bucket if not r.expired(now)]
+        dropped = [r for r in bucket if r.expired(now)]
+        alive.sort(key=Request.urgency)
+        group, rest = alive[: self.max_batch_size], alive[self.max_batch_size :]
+        if rest:
+            self._buckets[key] = rest
+            # the leftovers' window stays anchored to their own arrival — a
+            # request bumped by more urgent traffic keeps its already-elapsed
+            # wait instead of restarting a full max_wait window
+            self._opened[key] = min(r.submitted for r in rest)
+            deadlines = [r.deadline for r in rest if r.deadline is not None]
+            self._meta[key] = (
+                min(r.urgency() for r in rest),
+                min(deadlines) if deadlines else None,
+            )
+        else:
+            del self._buckets[key]
+            self._opened.pop(key, None)
+            self._meta.pop(key, None)
+        return group, dropped

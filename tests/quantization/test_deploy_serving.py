@@ -1,5 +1,7 @@
 """Deploy (restore-free) mode, serving modes and the cache-drop bugfix."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -245,11 +247,35 @@ class TestStreamingBlockConfig:
         monkeypatch.setenv("REPRO_STREAM_BLOCK", "12")
         assert wrapper.streaming_block_size() == 12
 
-    def test_invalid_env_var_raises(self, monkeypatch):
+    def test_invalid_env_var_warns_once_and_falls_back(self, monkeypatch):
         _, wrapper = self._linear_wrapper()
         monkeypatch.setenv("REPRO_STREAM_BLOCK", "lots")
-        with pytest.raises(ValueError, match="REPRO_STREAM_BLOCK"):
-            wrapper.streaming_block_size()
+        with pytest.warns(RuntimeWarning, match="REPRO_STREAM_BLOCK"):
+            block = wrapper.streaming_block_size()
+        assert block == type(wrapper).streaming_block_channels
+        # warned once per distinct value, not once per streaming forward
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert wrapper.streaming_block_size() == block
+
+    def test_non_positive_env_var_warns_and_falls_back(self, monkeypatch):
+        _, wrapper = self._linear_wrapper()
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "-3")
+        with pytest.warns(RuntimeWarning, match="positive integer"):
+            assert (
+                wrapper.streaming_block_size() == type(wrapper).streaming_block_channels
+            )
+
+    def test_invalid_env_var_does_not_break_streaming_forward(self, monkeypatch):
+        model, _ = self._linear_wrapper()
+        probe = _probe(shape=(5, 16))
+        cached_out = model(probe).data
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", "banana")
+        set_serving_mode(model, "streaming")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            out = model(probe).data
+        assert np.allclose(out, cached_out, rtol=1e-5, atol=1e-6)
 
     def test_invalid_block_channels_rejected(self):
         _, wrapper = self._linear_wrapper()
@@ -314,3 +340,61 @@ class TestEmbeddingStreamingDedupe:
         out = model(indices).data
         set_serving_mode(model, "cached")
         assert np.array_equal(out, model(indices).data)
+
+
+class TestPipelineServingMode:
+    def _deep_model(self, layers=4, features=24, seed=17):
+        rng = np.random.default_rng(seed)
+        stack = []
+        for _ in range(layers):
+            stack.extend([nn.Linear(features, features, rng=rng), nn.ReLU()])
+        model = nn.Sequential(*stack[:-1])
+        return quantize_model(
+            model, standard_recipe("E4M3", approach=Approach.DYNAMIC)
+        ).model
+
+    def test_pipeline_wires_one_shared_coordinator(self):
+        model = self._deep_model()
+        set_serving_mode(model, "streaming", prefetch="pipeline")
+        wrappers = _wrappers(model)
+        assert all(w.streaming_prefetch == "pipeline" for w in wrappers)
+        pipelines = {id(w._pipeline) for w in wrappers}
+        assert len(pipelines) == 1
+        assert wrappers[0]._pipeline is not None
+        # the coordinator holds the wrappers in module definition order
+        assert wrappers[0]._pipeline.order == wrappers
+
+    def test_pipeline_outputs_match_cached(self):
+        model = self._deep_model()
+        probe = _probe(shape=(32, 24), seed=23)
+        cached_out = model(probe).data
+        set_serving_mode(model, "streaming", prefetch="pipeline")
+        streamed = model(probe).data
+        assert np.array_equal(streamed, cached_out)
+        # repeated passes reuse the coordinator and stay identical
+        assert np.array_equal(model(probe).data, cached_out)
+
+    def test_switching_prefetch_off_clears_coordinator(self):
+        model = self._deep_model()
+        set_serving_mode(model, "streaming", prefetch="pipeline")
+        assert all(w._pipeline is not None for w in _wrappers(model))
+        set_serving_mode(model, "streaming", prefetch=True)
+        assert all(w._pipeline is None for w in _wrappers(model))
+        assert all(w.streaming_prefetch is True for w in _wrappers(model))
+
+    def test_pipeline_without_wiring_falls_back_to_per_layer(self):
+        model = self._deep_model()
+        wrapper = _wrappers(model)[0]
+        probe = _probe(shape=(32, 24), seed=23)
+        cached_out = model(probe).data
+        # per-module call only: no model-level coordinator gets built
+        for w in _wrappers(model):
+            w.set_serving_mode("streaming", prefetch="pipeline")
+        assert all(w._pipeline is None for w in _wrappers(model))
+        assert np.array_equal(model(probe).data, cached_out)
+        assert wrapper.streaming_prefetch == "pipeline"
+
+    def test_invalid_prefetch_value_rejected(self):
+        model = self._deep_model()
+        with pytest.raises(ValueError, match="prefetch"):
+            set_serving_mode(model, "streaming", prefetch="psychic")

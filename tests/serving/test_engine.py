@@ -1,6 +1,7 @@
-"""ServingEngine: batching, padding, grouping, lifecycle, failure paths."""
+"""ServingEngine: continuous batching, multi-worker execution, padding, lifecycle."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -9,7 +10,21 @@ import repro.nn as nn
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
 from repro.quantization import Approach, quantize_model, standard_recipe
-from repro.serving import ServingEngine
+from repro.serving import DeadlineExceeded, ServingEngine
+
+
+class SlowIdentity(Module):
+    """Returns its input unchanged after ``delay_s`` (records batch shapes)."""
+
+    def __init__(self, delay_s: float = 0.05) -> None:
+        super().__init__()
+        self.delay_s = delay_s
+        self.seen_shapes = []
+
+    def forward(self, x):
+        self.seen_shapes.append(np.asarray(x.data).shape)
+        time.sleep(self.delay_s)
+        return Tensor(np.asarray(x.data) * 1.0)
 
 
 def _mlp(seed=0):
@@ -136,8 +151,8 @@ class TestLifecycle:
         future = engine.submit(np.zeros(4, dtype=np.float32))
         with pytest.raises(RuntimeError, match="forward exploded"):
             future.result(timeout=10)
-        # the driver thread must survive the failure and keep serving
-        assert engine._driver.is_alive()
+        # the worker thread must survive the failure and keep serving
+        assert engine.alive_workers == 1
         assert engine.stats["failed_requests"] == 1
         engine.close()
 
@@ -178,7 +193,7 @@ class TestReviewRegressions:
             survivor = engine.submit(_samples(1, seed=2)[0])
             # the cancelled request is skipped; its batch-mate still resolves
             assert survivor.result(timeout=10).shape == (8,)
-            assert engine._driver.is_alive()
+            assert engine.alive_workers == 1
             assert doomed.cancelled()
 
     def test_sequence_reducing_model_unsliced_when_declared(self):
@@ -236,3 +251,182 @@ class TestReviewRegressions:
         worker.join(timeout=10)
         # ...and the worker restores its own (enabled) state on exit
         assert seen["after_exit"] is True
+
+
+def _streaming_quantized(seed=0):
+    result = quantize_model(
+        _mlp(seed=seed),
+        standard_recipe("E4M3", approach=Approach.DYNAMIC),
+        deploy=True,
+        serving_mode="streaming",
+    )
+    return result.model
+
+
+class TestContinuousBatching:
+    def test_arrivals_during_forward_join_next_group(self):
+        """No drain barrier: requests landing mid-forward form the next group."""
+        model = SlowIdentity(delay_s=0.08)
+        with ServingEngine(model, max_batch_size=4, max_wait_ms=5) as engine:
+            first = engine.submit(np.zeros(6, dtype=np.float32))
+            time.sleep(0.03)  # the worker is now inside first's forward
+            late = [engine.submit(np.zeros(6, dtype=np.float32)) for _ in range(3)]
+            first.result(timeout=10)
+            for future in late:
+                future.result(timeout=10)
+            stats = engine.stats
+        # the three late arrivals were admitted into one follow-up group
+        # instead of one forward each after a drain
+        assert stats["batches"] == 2
+        assert stats["max_batch"] == 3
+        assert model.seen_shapes == [(1, 6), (3, 6)]
+
+    def test_incompatible_shapes_never_co_batch_under_staggered_arrivals(self):
+        model = SlowIdentity(delay_s=0.02)
+        with ServingEngine(model, max_batch_size=8, max_wait_ms=40) as engine:
+            futures = []
+            for index in range(8):
+                shape = (6,) if index % 2 == 0 else (3, 6)
+                futures.append(engine.submit(np.zeros(shape, dtype=np.float32)))
+                time.sleep(0.004)
+            for future in futures:
+                future.result(timeout=10)
+        # every forward saw either stacked vectors (rank 2) or stacked
+        # sequences (rank 3), never a mix
+        assert model.seen_shapes
+        for shape in model.seen_shapes:
+            assert len(shape) in (2, 3)
+            assert shape[-1] == 6
+
+    def test_tight_deadline_closes_admission_window_early(self):
+        model = SlowIdentity(delay_s=0.0)
+        with ServingEngine(model, max_batch_size=8, max_wait_ms=500) as engine:
+            t0 = time.monotonic()
+            out = engine.serve(np.zeros(4, dtype=np.float32), timeout=10, deadline_ms=40)
+            elapsed = time.monotonic() - t0
+        assert out.shape == (4,)
+        # served around the 40ms deadline, not after the 500ms window
+        assert elapsed < 0.3
+
+    def test_queued_request_past_deadline_fails(self):
+        model = SlowIdentity(delay_s=0.12)
+        engine = ServingEngine(model, max_batch_size=2, max_wait_ms=1)
+        blocker = engine.submit(np.zeros(4, dtype=np.float32))
+        time.sleep(0.03)  # worker is busy with the blocker's forward
+        doomed = engine.submit(np.zeros(4, dtype=np.float32), deadline_ms=10)
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=10)
+        assert blocker.result(timeout=10).shape == (4,)
+        stats = engine.stats
+        assert stats["expired_requests"] == 1
+        assert engine.alive_workers == 1
+        engine.close()
+
+    def test_priority_orders_ready_groups(self):
+        model = SlowIdentity(delay_s=0.08)
+        done_order = []
+        with ServingEngine(model, max_batch_size=2, max_wait_ms=1) as engine:
+            blocker = engine.submit(np.zeros(4, dtype=np.float32))
+            time.sleep(0.03)  # both later requests queue while the worker is busy
+            low = engine.submit(np.zeros(6, dtype=np.float32), priority=0)
+            high = engine.submit(np.zeros((2, 6), dtype=np.float32), priority=5)
+            low.add_done_callback(lambda f: done_order.append("low"))
+            high.add_done_callback(lambda f: done_order.append("high"))
+            blocker.result(timeout=10)
+            low.result(timeout=10)
+            high.result(timeout=10)
+        assert done_order[0] == "high"
+
+    def test_non_positive_deadline_rejected(self):
+        # zero is rejected too: a zero budget can never be met, so accepting
+        # it would guarantee DeadlineExceeded
+        with ServingEngine(SlowIdentity(0.0), max_wait_ms=1) as engine:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                engine.submit(np.zeros(3, dtype=np.float32), deadline_ms=-1)
+            with pytest.raises(ValueError, match="deadline_ms"):
+                engine.submit(np.zeros(3, dtype=np.float32), deadline_ms=0)
+
+
+class TestMultiWorker:
+    def test_worker_replica_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServingEngine(_mlp(), workers=0)
+        with pytest.raises(ValueError, match="replicas"):
+            ServingEngine([_mlp(), _mlp()], workers=3)
+        with pytest.raises(TypeError, match="Module"):
+            ServingEngine([])
+
+    def test_workers_default_to_replica_count(self):
+        engine = ServingEngine([_mlp(), _mlp()], max_wait_ms=1)
+        assert engine.workers == 2
+        assert engine.alive_workers == 2
+        engine.close()
+        assert engine.alive_workers == 0
+
+    def test_multi_worker_bit_identical_to_single_worker(self):
+        """Deterministic chunking => identical groups => bit-identical outputs.
+
+        max_wait is long and max_batch small, so groups are always the next
+        four arrivals in order no matter how many workers pop them — dynamic
+        activation scales then see identical batches in both runs.
+        """
+        samples = _samples(16, seed=21)
+        outputs = {}
+        for workers in (1, 4):
+            model = _streaming_quantized(seed=3)
+            with ServingEngine(
+                model, max_batch_size=4, max_wait_ms=2000, workers=workers
+            ) as engine:
+                outputs[workers] = engine.serve_batch(samples, timeout=30)
+        for single, multi in zip(outputs[1], outputs[4]):
+            assert np.array_equal(single, multi)
+
+    def test_shared_model_across_workers_serves_correctly(self):
+        model = _streaming_quantized(seed=5)
+        samples = _samples(12, seed=22)
+        with no_grad():
+            expected = model(Tensor(np.stack(samples[:4]))).data
+        with ServingEngine(model, max_batch_size=4, max_wait_ms=2000, workers=3) as engine:
+            outputs = engine.serve_batch(samples, timeout=30)
+        assert engine.alive_workers == 0
+        for out, exp in zip(outputs[:4], expected):
+            assert np.array_equal(out, exp)
+
+
+class TestObservability:
+    def test_stats_percentiles_and_occupancy(self):
+        model = SlowIdentity(delay_s=0.01)
+        with ServingEngine(model, max_batch_size=4, max_wait_ms=10) as engine:
+            engine.serve_batch(_samples(8), timeout=10)
+            stats = engine.stats
+        for key in (
+            "queue_wait_p50_ms",
+            "queue_wait_p95_ms",
+            "forward_p50_ms",
+            "forward_p95_ms",
+        ):
+            assert stats[key] >= 0.0
+        assert stats["queue_wait_p95_ms"] >= stats["queue_wait_p50_ms"]
+        assert stats["forward_p95_ms"] >= stats["forward_p50_ms"]
+        # forwards sleep 10ms, so the measured forward latency must see it
+        assert stats["forward_p50_ms"] >= 8.0
+        assert 0.0 < stats["occupancy_mean"] <= 1.0
+        assert stats["workers"] == 1
+        assert stats["pending"] == 0
+
+    def test_serve_batch_timeout_is_a_shared_deadline(self):
+        """Total wait is bounded by timeout, not timeout * len(samples)."""
+        model = SlowIdentity(delay_s=0.15)
+        engine = ServingEngine(model, max_batch_size=1, max_wait_ms=1)
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError):
+            # three incompatible singleton groups => ~0.45s of forwards; the
+            # old per-future accounting would have allowed ~0.36s of waiting
+            engine.serve_batch(
+                [np.zeros(4, dtype=np.float32), np.zeros(6, dtype=np.float32),
+                 np.zeros(8, dtype=np.float32)],
+                timeout=0.12,
+            )
+        elapsed = time.monotonic() - t0
+        assert elapsed < 0.3
+        engine.close()

@@ -62,3 +62,136 @@ class TestBlockPrefetcher:
         iterator = iter(BlockPrefetcher(wq, block_channels=8))
         next(iterator)
         iterator.close()  # must not hang or leak a blocked thread
+
+
+class _FakeLayer:
+    """Duck-typed streaming wrapper: packed weight + a block size."""
+
+    def __init__(self, wq, block):
+        self.weight_q = wq
+        self._block = block
+
+    def streaming_block_size(self):
+        return self._block
+
+
+def _layers(count=3, shape=(48, 8), block=16):
+    return [_FakeLayer(_packed(shape, seed=seed), block) for seed in range(count)]
+
+
+class TestPipelinePrefetcher:
+    def test_blocks_bit_identical_and_in_order(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers()
+        pipeline = PipelinePrefetcher(layers, depth=4, workers=2)
+        try:
+            for layer in layers:
+                blocks = list(pipeline.iter_blocks(layer))
+                assert [(s, e) for s, e, _ in blocks] == [(0, 16), (16, 32), (32, 48)]
+                for start, stop, block in blocks:
+                    assert np.array_equal(
+                        block, layer.weight_q.dequantize_block(start, stop, axis=0)
+                    )
+        finally:
+            pipeline.close()
+
+    def test_window_crosses_layer_boundary(self):
+        """While layer k's tail is consumed, layer k+1's head is in flight."""
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=2)
+        pipeline = PipelinePrefetcher(layers, depth=4, workers=1)
+        try:
+            iterator = pipeline.iter_blocks(layers[0])
+            next(iterator)  # consume block 0 of layer 0, window refills
+            run = pipeline._local.run
+            pending_modules = {entry[0] for entry in run._pending}
+            assert layers[1] in pending_modules
+            # draining the rest stays correct
+            rest = list(iterator)
+            assert [(s, e) for s, e, _ in rest] == [(16, 32), (32, 48)]
+            assert [(s, e) for s, e, _ in pipeline.iter_blocks(layers[1])] == [
+                (0, 16),
+                (16, 32),
+                (32, 48),
+            ]
+        finally:
+            pipeline.close()
+
+    def test_out_of_order_layer_restarts_window(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=3)
+        pipeline = PipelinePrefetcher(layers, depth=2, workers=1)
+        try:
+            # ask for the *last* layer first (dynamic control flow)
+            blocks = list(pipeline.iter_blocks(layers[2]))
+            assert len(blocks) == 3
+            # then a full in-order pass still works
+            for layer in layers:
+                assert len(list(pipeline.iter_blocks(layer))) == 3
+        finally:
+            pipeline.close()
+
+    def test_abandoned_pass_restarts_from_block_zero(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=2)
+        pipeline = PipelinePrefetcher(layers, depth=2, workers=1)
+        try:
+            iterator = pipeline.iter_blocks(layers[0])
+            first = next(iterator)
+            assert first[0] == 0
+            del iterator  # abandoned mid-layer
+            restart = list(pipeline.iter_blocks(layers[0]))
+            assert [(s, e) for s, e, _ in restart] == [(0, 16), (16, 32), (32, 48)]
+        finally:
+            pipeline.close()
+
+    def test_reusable_across_passes(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=2)
+        pipeline = PipelinePrefetcher(layers, depth=3, workers=2)
+        try:
+            for _ in range(3):
+                for layer in layers:
+                    blocks = list(pipeline.iter_blocks(layer))
+                    assert len(blocks) == 3
+        finally:
+            pipeline.close()
+
+    def test_unknown_module_decodes_standalone(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=1)
+        stranger = _FakeLayer(_packed((32, 4), seed=9), 16)
+        pipeline = PipelinePrefetcher(layers, depth=2, workers=1)
+        try:
+            blocks = list(pipeline.iter_blocks(stranger))
+            assert [(s, e) for s, e, _ in blocks] == [(0, 16), (16, 32)]
+        finally:
+            pipeline.close()
+
+    def test_close_then_reuse_recreates_pool(self):
+        from repro.serving import PipelinePrefetcher
+
+        layers = _layers(count=1)
+        pipeline = PipelinePrefetcher(layers)
+        assert len(list(pipeline.iter_blocks(layers[0]))) == 3
+        pipeline.close()
+        # a fresh iteration after close lazily re-creates the pool; the
+        # stale thread-local run (cancelled futures) must not leak into it
+        assert len(list(pipeline.iter_blocks(layers[0]))) == 3
+        pipeline.close()
+
+    def test_validation(self):
+        from repro.serving import PipelinePrefetcher
+
+        with pytest.raises(ValueError, match="at least one"):
+            PipelinePrefetcher([])
+        with pytest.raises(ValueError, match="depth"):
+            PipelinePrefetcher(_layers(1), depth=0)
+        with pytest.raises(ValueError, match="workers"):
+            PipelinePrefetcher(_layers(1), workers=0)
