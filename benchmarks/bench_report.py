@@ -5,7 +5,12 @@ every benchmark calls :func:`record` with its section name and a JSON-safe
 payload, and the file accumulates a single diffable snapshot (kernel
 throughput, storage ratios, serving-path numbers) that
 ``actions/upload-artifact`` preserves per PR.  Without the environment
-variable set, :func:`record` is a no-op so local runs behave as before.
+variable set, :func:`record` is a no-op so local runs behave as before — but
+in CI (``$CI`` set) a missing ``REPRO_BENCH_JSON`` raises instead of silently
+dropping the numbers, so the cross-PR trajectory can never be empty again.
+
+``tools/bench_trajectory.py`` appends each merged snapshot to the committed
+history under ``benchmarks/trajectory/``.
 """
 
 from __future__ import annotations
@@ -20,6 +25,12 @@ def record(section: str, payload: dict) -> None:
     """Merge ``payload`` under ``section`` into ``$REPRO_BENCH_JSON`` (if set)."""
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
+        if os.environ.get("CI"):
+            raise RuntimeError(
+                "REPRO_BENCH_JSON is unset in CI: benchmark section %r would be "
+                "silently dropped from the perf trajectory. Export "
+                "REPRO_BENCH_JSON=$GITHUB_WORKSPACE/BENCH_PR.json in the job step." % section
+            )
         return
     data = {}
     if os.path.exists(path):
@@ -37,7 +48,11 @@ def record(section: str, payload: dict) -> None:
             "platform": platform.platform(),
             "fp8_kernel": os.environ.get("REPRO_FP8_KERNEL", "fast"),
         }
-    data[section] = payload
+    previous = data.get(section)
+    if isinstance(previous, dict) and isinstance(payload, dict):
+        data[section] = {**previous, **payload}
+    else:
+        data[section] = payload
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")

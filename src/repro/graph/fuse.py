@@ -1,0 +1,142 @@
+"""Graph rewrite passes: collapse traced chains into fused nodes.
+
+Three passes run, in order, over the flat node list (graphs are small — a few
+hundred nodes — so the passes are simple list rewrites, not dataflow
+frameworks):
+
+1. :func:`fuse_qdq_matmul` — a ``qdq`` node whose *only* consumer is the
+   matching wrapper's ``qlinear_mm``/``qlinear_stream_mm`` collapses into a
+   single ``qlinear``/``qlinear_stream`` node.  The replay executor then runs
+   activation Q/DQ through the fused
+   :func:`repro.fp8.kernels.quantize_dequantize_axis` primitive and feeds the
+   matmul directly, with no intermediate slot materialised in the plan
+   environment.
+2. :func:`fuse_ew_chains` — runs of single-consumer ``ew`` nodes collapse
+   into one ``fused_ew`` node carrying the op list, executed as one pass over
+   a single buffer (in-place where the op family allows it).
+3. :func:`fuse_epilogue` — an ``ew``/``fused_ew`` node that is the sole
+   consumer of a matmul-family output is absorbed into the producer as an
+   ``epilogue`` parameter, applied on the producer's output buffer.
+
+Every rewrite preserves bit-exactness by construction: fused executors use
+the same numpy expressions (and the same evaluation order) as the eager
+operators they replace, just without the interpreter walk and the Python-side
+temporaries.  This module intentionally imports nothing from the rest of
+``repro`` — it rewrites kind strings and slot ids only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.ir import ELEMENTWISE_OPS, MATMUL_KINDS, Graph, Node
+
+__all__ = ["fuse_graph", "fuse_qdq_matmul", "fuse_ew_chains", "fuse_epilogue"]
+
+_QDQ_MATMUL = {
+    "qlinear_mm": "qlinear",
+    "qlinear_stream_mm": "qlinear_stream",
+}
+
+
+def _single_consumer(graph: Graph, slot: int):
+    """Index of the unique node reading ``slot``, or None (output counts as a reader)."""
+    readers = graph.consumers().get(slot, [])
+    if len(readers) == 1 and readers[0] != -1:
+        return readers[0]
+    return None
+
+
+def fuse_qdq_matmul(graph: Graph) -> Graph:
+    """Collapse ``qdq`` + ``qlinear_(stream_)mm`` pairs from the same wrapper."""
+    nodes = list(graph.nodes)
+    changed = True
+    while changed:
+        changed = False
+        graph.nodes = nodes
+        for i, node in enumerate(nodes):
+            if node.kind != "qdq":
+                continue
+            j = _single_consumer(graph, node.output)
+            if j is None:
+                continue
+            consumer = nodes[j]
+            fused_kind = _QDQ_MATMUL.get(consumer.kind)
+            if fused_kind is None or consumer.inputs != (node.output,):
+                continue
+            if consumer.params.get("module") is not node.params.get("module"):
+                continue
+            nodes[j] = Node(fused_kind, node.inputs, consumer.output, dict(consumer.params))
+            del nodes[i]
+            changed = True
+            break
+    graph.nodes = nodes
+    return graph
+
+
+def fuse_ew_chains(graph: Graph) -> Graph:
+    """Collapse runs of single-consumer ``ew`` nodes into one ``fused_ew``."""
+    nodes = list(graph.nodes)
+    changed = True
+    while changed:
+        changed = False
+        graph.nodes = nodes
+        for i, node in enumerate(nodes):
+            if node.kind not in ("ew", "fused_ew"):
+                continue
+            j = _single_consumer(graph, node.output)
+            if j is None:
+                continue
+            consumer = nodes[j]
+            if consumer.kind not in ("ew", "fused_ew"):
+                continue
+            ops = _ops_of(node) + _ops_of(consumer)
+            nodes[j] = Node("fused_ew", node.inputs, consumer.output, {"ops": ops})
+            del nodes[i]
+            changed = True
+            break
+    graph.nodes = nodes
+    return graph
+
+
+def _ops_of(node: Node) -> List[str]:
+    if node.kind == "ew":
+        return [node.params["op"]]
+    return list(node.params["ops"])
+
+
+def fuse_epilogue(graph: Graph) -> Graph:
+    """Absorb a trailing elementwise chain into its matmul-family producer."""
+    nodes = list(graph.nodes)
+    changed = True
+    while changed:
+        changed = False
+        graph.nodes = nodes
+        for i, node in enumerate(nodes):
+            if node.kind not in MATMUL_KINDS or "epilogue" in node.params:
+                continue
+            j = _single_consumer(graph, node.output)
+            if j is None:
+                continue
+            consumer = nodes[j]
+            if consumer.kind not in ("ew", "fused_ew"):
+                continue
+            ops = _ops_of(consumer)
+            if any(op not in ELEMENTWISE_OPS for op in ops):
+                continue
+            params = dict(node.params)
+            params["epilogue"] = ops
+            nodes[i] = Node(node.kind, node.inputs, consumer.output, params)
+            del nodes[j]
+            changed = True
+            break
+    graph.nodes = nodes
+    return graph
+
+
+def fuse_graph(graph: Graph) -> Graph:
+    """Run all fusion passes in order; mutates and returns ``graph``."""
+    graph = fuse_qdq_matmul(graph)
+    graph = fuse_ew_chains(graph)
+    graph = fuse_epilogue(graph)
+    return graph

@@ -10,22 +10,163 @@ The quantization framework relies on four capabilities of :class:`Module`:
   (used by the tuning loop to try recipes from the same starting point);
 * ``train()`` / ``eval()`` — BatchNorm calibration runs the model in a special
   statistics-update mode without touching learnable parameters.
+
+Tracing instrumentation
+-----------------------
+:mod:`repro.graph` compiles a forward into a replayable plan by *tracing* it
+once.  This module carries the minimal hooks that make that possible without
+:mod:`repro.nn` depending on the graph package:
+
+* a per-thread **tracing context** — while a tracer is pushed,
+  :meth:`Module.__call__` offers every call to it before (or instead of)
+  executing eagerly;
+* a **leaf-op registry** (:func:`register_trace_leaf`) mapping module types to
+  emitter callables — a registered module is recorded as one graph node
+  instead of being traced through;
+* two global **epoch counters** used for plan-cache invalidation:
+  :func:`state_epoch` bumps whenever module state that a compiled plan may
+  have baked in changes (``load_state_dict``, submodule replacement,
+  quantization lifecycle transitions), and :func:`hook_epoch` bumps whenever
+  a forward hook is registered or removed anywhere.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 
-__all__ = ["Parameter", "Module", "EXTRA_STATE_KEY"]
+__all__ = [
+    "Parameter",
+    "Module",
+    "EXTRA_STATE_KEY",
+    "active_tracer",
+    "register_trace_leaf",
+    "trace_leaf_emitter",
+    "hook_epoch",
+    "bump_hook_epoch",
+    "state_epoch",
+    "bump_state_epoch",
+    "plan_dispatch_suspended",
+    "suspend_plan_dispatch",
+]
 
 #: state-dict key suffix under which a module's :meth:`Module.get_extra_state`
 #: payload is stored (``<module-path>._extra_state``)
 EXTRA_STATE_KEY = "_extra_state"
+
+
+# ----------------------------------------------------------------------
+# tracing context (per thread)
+# ----------------------------------------------------------------------
+_DISPATCH_STATE = threading.local()
+
+
+def active_tracer():
+    """The tracer currently recording on this thread, or ``None``."""
+    return getattr(_DISPATCH_STATE, "tracer", None)
+
+
+def _set_active_tracer(tracer) -> None:
+    """Install/clear the thread's tracer (used by :mod:`repro.graph.tracer`)."""
+    _DISPATCH_STATE.tracer = tracer
+
+
+def plan_dispatch_suspended() -> bool:
+    """Whether compiled-plan dispatch is disabled on this thread."""
+    return getattr(_DISPATCH_STATE, "plan_suspended", False)
+
+
+@contextmanager
+def suspend_plan_dispatch():
+    """Run eagerly even on a model with a plan cache attached (per thread).
+
+    The plan cache itself uses this while running the eager fallback (so the
+    fallback does not re-enter the dispatcher), and callers can use it to
+    force a genuinely eager forward for comparison against plan replay.
+    """
+    prev = plan_dispatch_suspended()
+    _DISPATCH_STATE.plan_suspended = True
+    try:
+        yield
+    finally:
+        _DISPATCH_STATE.plan_suspended = prev
+
+
+# ----------------------------------------------------------------------
+# leaf-op registry
+# ----------------------------------------------------------------------
+#: module type -> emitter callable ``emitter(tracer, module, args, kwargs)``;
+#: populated by :mod:`repro.graph.tracer` (and extensible by user code)
+TRACE_LEAF_EMITTERS: Dict[type, Callable] = {}
+
+
+def register_trace_leaf(module_type: type):
+    """Decorator registering an op-node emitter for ``module_type``.
+
+    The emitter is called as ``emitter(tracer, module, args, kwargs)`` with
+    tracing suspended and must return the op's output value after recording
+    the node(s) that reproduce it (see :class:`repro.graph.tracer.Tracer`).
+    Subclasses inherit the nearest registered ancestor's emitter unless they
+    register their own.
+    """
+
+    def _register(emitter: Callable) -> Callable:
+        TRACE_LEAF_EMITTERS[module_type] = emitter
+        return emitter
+
+    return _register
+
+
+def trace_leaf_emitter(module) -> Optional[Callable]:
+    """Resolve the registered emitter for ``module`` (walking the MRO)."""
+    for cls in type(module).__mro__:
+        emitter = TRACE_LEAF_EMITTERS.get(cls)
+        if emitter is not None:
+            return emitter
+    return None
+
+
+# ----------------------------------------------------------------------
+# invalidation epochs
+# ----------------------------------------------------------------------
+_EPOCH_LOCK = threading.Lock()
+_HOOK_EPOCH = 0
+_STATE_EPOCH = 0
+
+
+def hook_epoch() -> int:
+    """Monotonic counter bumped whenever a forward hook is added or removed."""
+    return _HOOK_EPOCH
+
+
+def bump_hook_epoch() -> None:
+    global _HOOK_EPOCH
+    with _EPOCH_LOCK:
+        _HOOK_EPOCH += 1
+
+
+def state_epoch() -> int:
+    """Monotonic counter bumped whenever plan-relevant module state changes.
+
+    Deliberately global and coarse: any ``load_state_dict``, submodule
+    replacement or quantization lifecycle transition (convert / restore /
+    deploy / serving-mode change) anywhere in the process invalidates every
+    cached plan.  Re-tracing is cheap relative to the traffic a plan serves,
+    and a global integer keeps the per-forward validity check O(1).
+    """
+    return _STATE_EPOCH
+
+
+def bump_state_epoch() -> None:
+    global _STATE_EPOCH
+    with _EPOCH_LOCK:
+        _STATE_EPOCH += 1
 
 
 class Parameter(Tensor):
@@ -46,7 +187,10 @@ class HookHandle:
         self._registry = registry
 
     def remove(self) -> None:
-        self._registry.pop(self.hook_id, None)
+        if self._registry.pop(self.hook_id, None) is not None:
+            # removal can make a previously hook-blocked module traceable
+            # again — let plan caches revalidate (see register_forward_hook)
+            bump_hook_epoch()
 
 
 class Module:
@@ -79,6 +223,9 @@ class Module:
         object.__setattr__(self, name, param)
 
     def add_module(self, name: str, module: "Module") -> None:
+        # replacing a submodule changes the structure a compiled plan traced
+        # through (quantize wrappers are swapped in via set_submodule)
+        bump_state_epoch()
         self._modules[name] = module
         object.__setattr__(self, name, module)
 
@@ -217,6 +364,7 @@ class Module:
         packed storage restored from extra state wins over any float view of
         the same weight that was also in the dict.
         """
+        bump_state_epoch()  # loaded weights invalidate compiled plans
         params = dict(self.named_parameters())
         buffers = {name: (owner, key) for owner, name, key in self._iter_buffer_owners()}
         modules = dict(self.named_modules())
@@ -284,10 +432,7 @@ class Module:
         return self
 
     # ------------------------------------------------------------------
-    # call protocol
-    # ------------------------------------------------------------------
-    # ------------------------------------------------------------------
-    # forward hooks
+    # call protocol / forward hooks
     # ------------------------------------------------------------------
     def register_forward_hook(self, hook) -> "HookHandle":
         """Register ``hook(module, inputs, output)`` to run after every forward call.
@@ -295,15 +440,40 @@ class Module:
         Used by SmoothQuant, the distribution-analysis benchmarks and the
         calibration machinery to observe intermediate activations without
         modifying model code.  Returns a handle whose ``remove()`` detaches it.
+
+        Interaction with compiled plans (:mod:`repro.graph`): a hooked module
+        **forces eager execution**.  Tracing refuses to record through any
+        module carrying forward hooks (the plan would silently skip them at
+        replay), so a forward involving a hooked module always falls back to
+        the eager path, and registering a hook invalidates every cached plan
+        that traced through this module (plans that never touched it stay
+        live).  ``handle.remove()`` makes the module traceable again on the
+        next miss.  Both transitions are signalled through the global
+        :func:`hook_epoch` counter, so the steady-state plan lookup stays
+        O(1) while hooks are stable.
         """
         handle = HookHandle(self._forward_hooks)
         self._forward_hooks[handle.hook_id] = hook
+        bump_hook_epoch()
         return handle
 
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        tracer = active_tracer()
+        if tracer is not None:
+            recorded, output = tracer.visit_call(self, args, kwargs)
+            if recorded:
+                return output
+        else:
+            # compiled-plan dispatch: only roots that went through
+            # repro.graph.cache.install_plan_cache carry the attribute
+            cache = self.__dict__.get("_plan_cache")
+            if cache is not None:
+                replayed, output = cache.dispatch(self, args, kwargs)
+                if replayed:
+                    return output
         output = self.forward(*args, **kwargs)
         if self._forward_hooks:
             for hook in list(self._forward_hooks.values()):

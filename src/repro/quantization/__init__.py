@@ -55,6 +55,7 @@ from repro.quantization.workflow import (
     convert_model,
     quantize_model,
     deploy_model,
+    compile_model,
     set_serving_mode,
     storage_report,
     resident_report,
@@ -103,6 +104,7 @@ __all__ = [
     "convert_model",
     "quantize_model",
     "deploy_model",
+    "compile_model",
     "set_serving_mode",
     "storage_report",
     "resident_report",

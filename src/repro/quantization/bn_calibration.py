@@ -19,7 +19,7 @@ import numpy as np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.augmentation import get_transform
 from repro.data.synthetic import ArrayDataset
-from repro.nn.module import Module
+from repro.nn.module import Module, bump_state_epoch
 from repro.nn.norm import _BatchNorm
 from repro.utils.logging import get_logger
 from repro.utils.seeding import seeded_rng
@@ -90,6 +90,8 @@ def calibrate_batchnorm(
     finally:
         for bn in bn_modules:
             bn.calibrating = False
+        # running stats changed under any compiled plans — invalidate them
+        bump_state_epoch()
 
     logger.debug(
         "recalibrated %d BatchNorm modules on %d samples (%s transform)",

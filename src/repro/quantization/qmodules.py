@@ -56,7 +56,7 @@ from repro.fp8.quantize import QuantizedTensor, compute_scale, quantize_dequanti
 from repro.nn.attention import BatchMatMul
 from repro.nn.elementwise import Add, Mul
 from repro.nn.layers import Conv2d, Embedding, EmbeddingBag, Linear
-from repro.nn.module import Module
+from repro.nn.module import Module, bump_state_epoch, trace_leaf_emitter
 from repro.nn.norm import BatchNorm1d, BatchNorm2d, LayerNorm
 from repro.quantization.observers import Observer, build_observer
 from repro.quantization.qconfig import (
@@ -326,9 +326,11 @@ class QuantizedModule(Module):
     # ------------------------------------------------------------------
     def start_observing(self) -> None:
         self.observing = True
+        bump_state_epoch()
 
     def stop_observing(self) -> None:
         self.observing = False
+        bump_state_epoch()
 
     def convert(self) -> None:
         """Freeze activation ranges and pack the weight into 8-bit storage.
@@ -341,6 +343,7 @@ class QuantizedModule(Module):
         """
         if self.quantizing:
             self.observing = False
+            bump_state_epoch()
             return
         for quantizer, fallback in zip(self.input_quantizers, self._calibration_fallbacks()):
             quantizer.freeze(fallback=fallback)
@@ -364,6 +367,7 @@ class QuantizedModule(Module):
             # (repr, forward) are the quantized ones from the moment of
             # conversion; drop_weight_cache() returns to packed-at-rest.
             self._bind_weight()
+        bump_state_epoch()
 
     def restore(self) -> None:
         """Undo weight quantization (used by the tuning loop when falling back to FP32)."""
@@ -379,6 +383,7 @@ class QuantizedModule(Module):
         self._weight_cache = None
         self.weight_q = None
         self.quantizing = False
+        bump_state_epoch()
 
     def drop_originals(self) -> None:
         """Enter restore-free deployment mode: discard the pristine float32 original.
@@ -391,6 +396,7 @@ class QuantizedModule(Module):
         self.deployed = True
         self._original_weight = None
         self.drop_weight_cache()
+        bump_state_epoch()
 
     def set_serving_mode(
         self,
@@ -431,6 +437,9 @@ class QuantizedModule(Module):
         self.serving_mode = mode
         if mode == "streaming":
             self.drop_weight_cache()
+        # any serving-mode/prefetch change reshapes the traced forward:
+        # invalidate every compiled plan (see repro.graph.cache)
+        bump_state_epoch()
 
     def streaming_block_size(self) -> int:
         """Resolve the streaming block size for this module.
@@ -565,6 +574,72 @@ class QuantizedModule(Module):
             self.drop_weight_cache()
 
     # ------------------------------------------------------------------
+    # tracing integration (see repro.graph)
+    # ------------------------------------------------------------------
+    def trace_emit(self, tracer, args, kwargs):
+        """Describe this wrapper's forward to an active tracer as graph nodes.
+
+        Emits symbolic ``qdq`` nodes for the activation Q/DQ of each Tensor
+        input (skipped for disabled configs, whose quantize is a pass-through)
+        and then hands the quantized values to the wrapped operator's own leaf
+        emitter.  Weight-bearing wrappers without a structured decomposition
+        (Conv2d) record one opaque node over the whole wrapper instead, so
+        replay re-binds the dequant cache inside ``forward()``.  Returns the
+        real output of the call, or ``None`` to decline — the trace then falls
+        back to eager for this input key.  Only consulted while
+        ``quantizing``; generic transient-decode streaming declines (only
+        operators with a structured streaming kernel — Linear, Embedding —
+        override this with a streaming emitter).
+        """
+        if kwargs:
+            return None
+        if self._is_streaming():
+            return None
+        if self.has_weight and self.weight_q is not None:
+            return self._trace_emit_opaque(tracer, args, kwargs)
+        processed = self._trace_emit_qdq(tracer, args)
+        inner = self.inner
+        tracer.touch(inner)
+        emitter = trace_leaf_emitter(inner)
+        if emitter is None:
+            return None
+        self._bind_weight()
+        return emitter(tracer, inner, tuple(processed), {})
+
+    def _trace_emit_qdq(self, tracer, args):
+        """Emit one ``qdq`` node per quantized Tensor input; mirrors _process_inputs."""
+        processed = []
+        for idx, value in enumerate(args):
+            if (
+                isinstance(value, Tensor)
+                and idx < len(self.input_quantizers)
+                and self.input_quantizers[idx].config.enabled
+            ):
+                slot = tracer.slot_of(value)
+                q = Tensor(self.input_quantizers[idx].quantize(value.data))
+                tracer.record("qdq", (slot,), q, module=self, index=idx)
+                processed.append(q)
+            else:
+                if isinstance(value, (Tensor, np.ndarray)):
+                    tracer.slot_of(value)
+                processed.append(value)
+        return processed
+
+    def _trace_emit_opaque(self, tracer, args, kwargs):
+        """Record the whole wrapper call as one ``call_module`` node."""
+        for key, value in kwargs.items():
+            if isinstance(value, (Tensor, np.ndarray)):
+                return None
+        tracer.touch_tree(self)
+        slots = tuple(tracer.slot_of(arg) for arg in args)
+        wrapped = tuple(isinstance(arg, Tensor) for arg in args)
+        output = self.forward(*args, **kwargs)
+        tracer.record(
+            "call_module", slots, output, module=self, wrapped=wrapped, kwargs=dict(kwargs)
+        )
+        return output
+
+    # ------------------------------------------------------------------
     # state-dict composition (packed checkpointing)
     # ------------------------------------------------------------------
     def state_dict_excluded_keys(self):
@@ -686,15 +761,57 @@ class QuantizedLinear(QuantizedModule):
         """
         (x,) = self._process_inputs((x,))
         x_np = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
+        return Tensor(self._stream_matmul(x_np))
+
+    def _stream_matmul(self, x_np: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """The blocked streaming matmul on an already-processed float32 input.
+
+        Shared by the eager forward and the compiled-plan executor
+        (:mod:`repro.graph.plan`), which is what keeps plan replay
+        structurally bit-identical to eager in streaming mode.
+        """
         wq = self.weight_q
         out_features = wq.shape[0]
-        y = np.empty(x_np.shape[:-1] + (out_features,), dtype=np.float32)
+        y = out
+        if y is None:
+            y = np.empty(x_np.shape[:-1] + (out_features,), dtype=np.float32)
         for start, stop, w_block in self._iter_weight_blocks():
             np.matmul(x_np, w_block.T, out=y[..., start:stop])
         bias = getattr(self.inner, "bias", None)
         if bias is not None:
-            y += bias.data
-        return Tensor(y)
+            np.add(y, bias.data, out=y)
+        return y
+
+    def trace_emit(self, tracer, args, kwargs):
+        """Emit ``qdq`` + ``qlinear_(stream_)mm`` nodes (fused downstream).
+
+        The fusion pass collapses the pair into one ``qlinear`` /
+        ``qlinear_stream`` node whose executor runs the activation Q/DQ
+        through the fused per-axis kernel and feeds the matmul directly.
+        """
+        if kwargs:
+            return None
+        (x,) = args
+        if not isinstance(x, (Tensor, np.ndarray)):
+            return None
+        x_slot = tracer.slot_of(x)
+        mm_in = x
+        if (
+            isinstance(x, Tensor)
+            and self.input_quantizers
+            and self.input_quantizers[0].config.enabled
+        ):
+            mm_in = Tensor(self.input_quantizers[0].quantize(x.data))
+            x_slot = tracer.record("qdq", (x_slot,), mm_in, module=self, index=0)
+        if self._is_streaming():
+            x_np = mm_in.data if isinstance(mm_in, Tensor) else np.asarray(mm_in, np.float32)
+            output = Tensor(self._stream_matmul(x_np))
+            tracer.record("qlinear_stream_mm", (x_slot,), output, module=self)
+        else:
+            self._bind_weight()
+            output = self.inner(mm_in)
+            tracer.record("qlinear_mm", (x_slot,), output, module=self)
+        return output
 
     def _iter_weight_blocks(self):
         """Yield ``(start, stop, float32 block)`` over the packed weight's axis 0.
@@ -743,6 +860,20 @@ class QuantizedEmbedding(QuantizedModule):
             return self._forward_streaming(indices, **kwargs)
         self._bind_weight()
         return self.inner(indices, **kwargs)
+
+    def trace_emit(self, tracer, args, kwargs):
+        """Emit one ``qembed`` node; replay calls ``forward`` (cached or
+        gather-decode, resolved at replay time — serving-mode flips invalidate
+        the plan through the state epoch anyway)."""
+        if kwargs:
+            return None
+        (indices,) = args
+        idx_slot = tracer.slot_of(indices)
+        output = self.forward(indices)
+        tracer.record(
+            "qembed", (idx_slot,), output, module=self, wrapped=isinstance(indices, Tensor)
+        )
+        return output
 
     def _forward_streaming(self, indices, **kwargs):
         """Gather-decode: pull only the looked-up rows out of packed storage.

@@ -122,6 +122,17 @@ class ServingEngine:
         Number of driver threads.  Defaults to one per replica (1 for a
         single model).  With a single model and ``workers>1`` all workers
         share it (see the module docstring for the thread-safety contract).
+    plan_cache:
+        Compiled-plan dispatch for worker forwards (see :mod:`repro.graph`).
+        ``"auto"`` (default) installs a plan cache on each distinct replica:
+        the first forward for a scheduler compat-key traces and compiles a
+        fused plan, and steady-state batched traffic replays it with zero
+        per-layer Python dispatch (plan lookup is thread-safe; replay buffers
+        are per-thread, so shared-model workers replay concurrently).  Eager
+        execution remains the fallback — and the bit-exactness oracle — for
+        untraceable models, so ``"auto"`` is always safe.  ``False`` disables
+        plan dispatch entirely.  Aggregated cache counters appear in
+        :attr:`stats` under ``"plan_cache"``.
     """
 
     def __init__(
@@ -132,6 +143,7 @@ class ServingEngine:
         pad_value: float = 0.0,
         slice_padded_outputs: bool = True,
         workers: Optional[int] = None,
+        plan_cache: Union[str, bool] = "auto",
     ) -> None:
         if isinstance(model, Module):
             replicas = [model]
@@ -155,9 +167,22 @@ class ServingEngine:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size!r}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
+        if plan_cache not in ("auto", True, False):
+            raise ValueError(f"plan_cache must be 'auto', True or False, got {plan_cache!r}")
         self.model = replicas[0]
         self.replicas: List[Module] = replicas
         self.workers = workers
+        self._plan_caches = []
+        if plan_cache:
+            # lazy import: serving stays importable without the graph package
+            from repro.graph import install_plan_cache
+
+            seen = set()
+            for replica in replicas:
+                if id(replica) in seen:
+                    continue  # shared-model workers share one cache too
+                seen.add(id(replica))
+                self._plan_caches.append(install_plan_cache(replica))
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.pad_value = pad_value
@@ -369,6 +394,12 @@ class ServingEngine:
         snapshot["occupancy_mean"] = occupancy
         snapshot["queue_wait_p50_ms"], snapshot["queue_wait_p95_ms"] = _percentiles_ms(waits)
         snapshot["forward_p50_ms"], snapshot["forward_p95_ms"] = _percentiles_ms(forwards)
+        if self._plan_caches:
+            totals: dict = {}
+            for cache in self._plan_caches:
+                for key, value in cache.stats().items():
+                    totals[key] = totals.get(key, 0) + value
+            snapshot["plan_cache"] = totals
         return snapshot
 
     def _note_expired(self, count: int) -> None:

@@ -1,0 +1,163 @@
+"""Cross-PR perf-trajectory history over merged BENCH_PR.json snapshots.
+
+Every CI bench job writes its sections into a ``BENCH_PR.json`` artifact (see
+``benchmarks/bench_report.py``).  Artifacts are per-run and expire, so the
+trajectory across PRs used to be empty.  This tool keeps a *committed* history
+under ``benchmarks/trajectory/``: on every push to main the ``trajectory`` CI
+job merges the per-job artifacts and appends the snapshot here.
+
+Usage::
+
+    # merge one or more BENCH_PR.json files and append a labelled snapshot
+    python tools/bench_trajectory.py append BENCH_PR.json [more.json ...] \
+        [--label <git-sha>] [--dir benchmarks/trajectory]
+
+    # print the metric trajectory across all committed snapshots
+    python tools/bench_trajectory.py show [--dir benchmarks/trajectory]
+
+``append`` writes ``NNNN-<label>.json`` (label defaults to the short git HEAD
+sha) and refreshes ``index.json``, the ordered list of snapshots.  ``show``
+walks the history and prints one line per snapshot with a few headline
+numbers per section, so ``git log``-level archaeology is never needed to see
+whether a PR moved the needle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+DEFAULT_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks", "trajectory"
+)
+
+_SNAPSHOT_RE = re.compile(r"^(\d{4})-(.+)\.json$")
+
+
+def _git_label() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _merge(paths: list[str]) -> dict:
+    """Merge per-job BENCH_PR.json files; sections are disjoint except 'env'."""
+    merged: dict = {}
+    for path in paths:
+        for section, payload in _load(path).items():
+            if section == "env" and "env" in merged:
+                continue
+            merged[section] = payload
+    return merged
+
+
+def _snapshots(directory: str) -> list[tuple[int, str, str]]:
+    """Ordered ``(seq, label, path)`` triples for the committed history."""
+    entries = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        m = _SNAPSHOT_RE.match(name)
+        if m:
+            entries.append((int(m.group(1)), m.group(2), os.path.join(directory, name)))
+    return entries
+
+
+def _write_index(directory: str) -> None:
+    index = [
+        {"seq": seq, "label": label, "file": os.path.basename(path)}
+        for seq, label, path in _snapshots(directory)
+    ]
+    with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as fh:
+        json.dump(index, fh, indent=2)
+        fh.write("\n")
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    merged = _merge(args.inputs)
+    if not merged or set(merged) == {"env"}:
+        raise SystemExit("refusing to append an empty snapshot (no benchmark sections)")
+    label = args.label or _git_label()
+    history = _snapshots(args.dir)
+    if history and any(lbl == label for _, lbl, _ in history):
+        print(f"snapshot for label {label!r} already recorded; nothing to do")
+        return 0
+    seq = history[-1][0] + 1 if history else 1
+    os.makedirs(args.dir, exist_ok=True)
+    path = os.path.join(args.dir, f"{seq:04d}-{label}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    _write_index(args.dir)
+    sections = sorted(k for k in merged if k != "env")
+    print(f"appended snapshot {seq:04d}-{label}.json with sections: {', '.join(sections)}")
+    return 0
+
+
+def _headline(section: str, payload: object) -> str:
+    """A compact one-liner for a section: the few scalar numbers that matter."""
+    if not isinstance(payload, dict):
+        return str(payload)
+    picked = []
+    for key, value in payload.items():
+        if isinstance(value, bool):
+            picked.append(f"{key}={value}")
+        elif isinstance(value, (int, float)):
+            picked.append(f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}")
+        if len(picked) >= 4:
+            break
+    return ", ".join(picked) if picked else f"{len(payload)} entries"
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    history = _snapshots(args.dir)
+    if not history:
+        print(f"no snapshots under {args.dir}")
+        return 1
+    for seq, label, path in history:
+        data = _load(path)
+        print(f"{seq:04d} {label}")
+        for section in sorted(k for k in data if k != "env"):
+            print(f"    {section}: {_headline(section, data[section])}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="append a merged BENCH_PR.json snapshot")
+    p_append.add_argument("inputs", nargs="+", help="BENCH_PR.json files to merge")
+    p_append.add_argument("--label", default=None, help="snapshot label (default: git short sha)")
+    p_append.add_argument("--dir", default=DEFAULT_DIR, help="trajectory directory")
+    p_append.set_defaults(func=cmd_append)
+
+    p_show = sub.add_parser("show", help="print the committed metric trajectory")
+    p_show.add_argument("--dir", default=DEFAULT_DIR, help="trajectory directory")
+    p_show.set_defaults(func=cmd_show)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
