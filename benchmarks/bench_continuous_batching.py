@@ -229,9 +229,7 @@ def measure_continuous_vs_drain():
     drain_batches = drain.batches
     drain.close()
 
-    engine = ServingEngine(
-        model, max_batch_size=STAGGER_MAX_BATCH, max_wait_ms=STAGGER_WAIT_MS
-    )
+    engine = ServingEngine(model, max_batch_size=STAGGER_MAX_BATCH, max_wait_ms=STAGGER_WAIT_MS)
     continuous_s = _staggered_run(engine.submit, samples, STAGGER_GAP_S)
     engine_stats = engine.stats
     engine.close()
@@ -310,9 +308,7 @@ def measure_multi_worker():
                 report = resident_report(engine.replicas)
                 mapped[workers] = report["mapped_bytes"]
                 engine.serve_batch(samples[:16], timeout=60)  # warmup
-                timings[workers] = min(
-                    _burst_throughput(engine, samples) for _ in range(3)
-                )
+                timings[workers] = min(_burst_throughput(engine, samples) for _ in range(3))
                 engine.close()
         finally:
             clear_mapping_cache()
@@ -349,9 +345,7 @@ def measure_pipeline_prefetch():
     """Cross-layer pipelined decode vs per-layer double-buffered prefetch."""
     model = _streaming_model(PIPELINE_LAYERS, PIPELINE_FEATURES, seed=19)
     rng = np.random.default_rng(17)
-    probe = Tensor(
-        rng.normal(0.0, 1.0, (PIPELINE_ROWS, PIPELINE_FEATURES)).astype(np.float32)
-    )
+    probe = Tensor(rng.normal(0.0, 1.0, (PIPELINE_ROWS, PIPELINE_FEATURES)).astype(np.float32))
 
     def _best_forward() -> float:
         best = np.inf
@@ -423,9 +417,7 @@ def measure_engine_identity():
     matches = True
     for start in range(0, len(samples), IDENTITY_BATCH):
         with no_grad():
-            reference = cached(
-                Tensor(np.stack(samples[start : start + IDENTITY_BATCH]))
-            ).data
+            reference = cached(Tensor(np.stack(samples[start : start + IDENTITY_BATCH]))).data
         matches = matches and np.array_equal(
             np.stack(outputs[start : start + IDENTITY_BATCH]), reference
         )
@@ -487,9 +479,7 @@ def test_multi_worker_gate():
 def test_pipeline_prefetch_gate():
     _, stats = measure_pipeline_prefetch()
     record("continuous_batching_pipeline", stats)
-    assert stats["pipeline_matches_cached"], (
-        "pipelined streaming diverges from cached mode"
-    )
+    assert stats["pipeline_matches_cached"], "pipelined streaming diverges from cached mode"
     assert stats["speedup"] >= ACCEPTANCE_PIPELINE, (
         f"pipelined prefetch only {stats['speedup']:.2f}x over per-layer prefetch "
         f"on {_CORES} cores (gate: >= {ACCEPTANCE_PIPELINE}x)"

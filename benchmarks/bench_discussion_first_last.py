@@ -7,7 +7,9 @@ from repro.evaluation.reporting import format_table
 from repro.models.registry import build_task
 from repro.quantization import standard_recipe
 
-CNN_TASKS = ["resnet18-imagenet", "densenet121-imagenet", "mobilenet-v2-imagenet", "efficientnet-b0-imagenet"]
+CNN_TASKS = [
+    "resnet18-imagenet", "densenet121-imagenet", "mobilenet-v2-imagenet", "efficientnet-b0-imagenet"
+]
 
 
 def first_last_rows():
@@ -44,7 +46,9 @@ def test_first_last_operator_discussion(benchmark):
 
     def loss(fmt, quantized):
         return next(
-            r["mean loss %"] for r in rows if r["Format"] == fmt and r["first/last quantized"] == quantized
+            r["mean loss %"]
+            for r in rows
+            if r["Format"] == fmt and r["first/last quantized"] == quantized
         )
 
     # quantizing the first/last operators should not *help* accuracy for the narrow-mantissa formats

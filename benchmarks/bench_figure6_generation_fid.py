@@ -10,16 +10,30 @@ def generation_configs():
     return [
         ("FP32", None),
         ("FP8-E5M2", standard_recipe("E5M2", skip_first_operator=False, skip_last_operator=False)),
-        ("FP8-E4M3-static", standard_recipe("E4M3", skip_first_operator=False, skip_last_operator=False)),
+        (
+            "FP8-E4M3-static",
+            standard_recipe("E4M3", skip_first_operator=False, skip_last_operator=False),
+        ),
         (
             "FP8-E4M3-dynamic",
             standard_recipe(
-                "E4M3", approach=Approach.DYNAMIC, skip_first_operator=False, skip_last_operator=False
+                "E4M3",
+                approach=Approach.DYNAMIC,
+                skip_first_operator=False,
+                skip_last_operator=False,
             ),
         ),
-        ("FP8-E3M4-static", standard_recipe("E3M4", skip_first_operator=False, skip_last_operator=False)),
+        (
+            "FP8-E3M4-static",
+            standard_recipe("E3M4", skip_first_operator=False, skip_last_operator=False),
+        ),
         ("INT8-static", int8_recipe(skip_first_operator=False, skip_last_operator=False)),
-        ("INT8-dynamic", int8_recipe(approach=Approach.DYNAMIC, skip_first_operator=False, skip_last_operator=False)),
+        (
+            "INT8-dynamic",
+            int8_recipe(
+                approach=Approach.DYNAMIC, skip_first_operator=False, skip_last_operator=False
+            ),
+        ),
     ]
 
 
@@ -37,7 +51,9 @@ def figure6_rows(bundle, n_samples=96, num_steps=4):
                 prepare_inputs=bundle.prepare_inputs,
                 is_convolutional=True,
             ).model
-        generated = model.sample(n_samples, image_shape=reference.shape[1:], num_steps=num_steps, rng=7)
+        generated = model.sample(
+            n_samples, image_shape=reference.shape[1:], num_steps=num_steps, rng=7
+        )
         rows.append({"Configuration": name, "FID (proxy)": fid_proxy(reference, generated)})
     return rows
 
@@ -45,7 +61,9 @@ def figure6_rows(bundle, n_samples=96, num_steps=4):
 def test_figure6_generation_fid(benchmark, diffusion_bundle):
     rows = benchmark.pedantic(lambda: figure6_rows(diffusion_bundle), rounds=1, iterations=1)
     print()
-    print(format_table(rows, title="Figure 6: FID proxy of the quantized denoiser (lower is better)"))
+    print(
+        format_table(rows, title="Figure 6: FID proxy of the quantized denoiser (lower is better)")
+    )
     fid = {row["Configuration"]: row["FID (proxy)"] for row in rows}
     # FP32 is the reference sampler; FP8 E4M3/E3M4 should stay closer to it than INT8-dynamic
     best_fp8 = min(fid["FP8-E4M3-static"], fid["FP8-E3M4-static"])

@@ -12,7 +12,9 @@ from repro.nn.layers import Linear
 def capture_fc1(bundle):
     """Capture the input activation and weight of the first FFN Linear (BERT fc1)."""
     target_name = next(
-        name for name, m in bundle.model.named_modules() if name.endswith("fc1") and isinstance(m, Linear)
+        name for name, m in bundle.model.named_modules() if name.endswith("fc1") and isinstance(
+            m, Linear
+        )
     )
     module = bundle.model.get_submodule(target_name)
     captured = {}

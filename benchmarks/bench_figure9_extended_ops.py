@@ -32,8 +32,15 @@ def cv_configs():
 
 def nlp_configs():
     out = []
-    for fmt, approach in (("E5M2", Approach.STATIC), ("E4M3", Approach.STATIC), ("E4M3", Approach.DYNAMIC), ("E3M4", Approach.STATIC)):
-        out.append((f"{fmt}-{approach.value} (Conv,Linear)", standard_recipe(fmt, approach=approach)))
+    for fmt, approach in (
+        ("E5M2", Approach.STATIC),
+        ("E4M3", Approach.STATIC),
+        ("E4M3", Approach.DYNAMIC),
+        ("E3M4", Approach.STATIC),
+    ):
+        out.append(
+            (f"{fmt}-{approach.value} (Conv,Linear)", standard_recipe(fmt, approach=approach))
+        )
         out.append(
             (
                 f"{fmt}-{approach.value} (+BMM,Emb,LayerNorm)",
@@ -65,7 +72,9 @@ def figure9_rows(tasks, configs, domain):
 
 def test_figure9_extended_operator_coverage(benchmark):
     def run():
-        return figure9_rows(CV_TASKS, cv_configs(), "CV") + figure9_rows(NLP_TASKS, nlp_configs(), "NLP")
+        return figure9_rows(CV_TASKS, cv_configs(), "CV") + figure9_rows(
+            NLP_TASKS, nlp_configs(), "NLP"
+        )
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

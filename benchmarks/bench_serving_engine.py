@@ -243,9 +243,7 @@ def measure_batched_throughput():
         engine_stats = engine.stats
     with no_grad():
         direct = model(Tensor(np.stack(samples))).data
-    outputs_match_direct = bool(
-        np.allclose(np.stack(outputs), direct, rtol=1e-5, atol=1e-6)
-    )
+    outputs_match_direct = bool(np.allclose(np.stack(outputs), direct, rtol=1e-5, atol=1e-6))
 
     stats = {
         "sequential_s": sequential_s,
@@ -274,9 +272,7 @@ def measure_batched_throughput():
 
 def measure_prefetch_identity():
     """Prefetched streaming must be bit-identical to cached mode (and report overlap timing)."""
-    result = quantize_model(
-        build_serve_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-    )
+    result = quantize_model(build_serve_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
     model = result.model
     probe = _probe((IDENTITY_BATCH, SERVE_FEATURES), seed=11)
     with no_grad():

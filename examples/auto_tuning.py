@@ -21,7 +21,9 @@ def tune(task_name: str, domain: str) -> None:
         relative_loss_target=0.01,
     )
     fallback_candidates = [
-        name for name, _ in bundle.model.named_modules() if name.endswith(("fc1", "classifier", "lm_head"))
+        name for name, _ in bundle.model.named_modules() if name.endswith(
+            ("fc1", "classifier", "lm_head")
+        )
     ]
     result = tuner.tune(
         bundle.model,

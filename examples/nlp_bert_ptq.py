@@ -34,7 +34,10 @@ def main() -> None:
         ("E4M3 static", standard_recipe("E4M3")),
         ("E3M4 static", standard_recipe("E3M4")),
         ("Mixed E4M3/E3M4", assign_mixed_formats(standard_recipe("E4M3"))),
-        ("Extended E4M3 (+LayerNorm, BMM, Emb)", extended_recipe("E4M3", batchnorm_calibration=False)),
+        (
+            "Extended E4M3 (+LayerNorm, BMM, Emb)",
+            extended_recipe("E4M3", batchnorm_calibration=False),
+        ),
     ]
 
     rows = []

@@ -397,7 +397,9 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[Tensor, np.n
     return loss.mean()
 
 
-def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+def dropout(
+    x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None
+) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x

@@ -31,7 +31,9 @@ def gradcheck(
         inp.zero_grad()
     out = fn(*inputs)
     out.sum().backward()
-    analytic = [inp.grad.copy() if inp.grad is not None else np.zeros_like(inp.data) for inp in inputs]
+    analytic = [
+        inp.grad.copy() if inp.grad is not None else np.zeros_like(inp.data) for inp in inputs
+    ]
 
     for t_idx, inp in enumerate(inputs):
         if not inp.requires_grad:

@@ -179,9 +179,7 @@ def make_token_classification(
     GLUE-style text classification tasks (MRPC, SST-2, CoLA, ...).
     """
     rng = seeded_rng(rng)
-    signal_sets = rng.choice(
-        vocab_size, size=(n_classes, signal_tokens_per_class), replace=False
-    )
+    signal_sets = rng.choice(vocab_size, size=(n_classes, signal_tokens_per_class), replace=False)
     labels = rng.integers(0, n_classes, size=n_samples)
     tokens = rng.integers(0, vocab_size, size=(n_samples, seq_len))
     signal_mask = rng.random((n_samples, seq_len)) < signal_density
@@ -226,7 +224,11 @@ def make_language_modeling(
         sequences[:, t] = (u > cdf).sum(axis=1)
     inputs = sequences[:, :-1]
     targets = sequences[:, 1:]
-    return ArrayDataset(inputs, targets, extras={"transition_probs": np.broadcast_to(probs, (n_samples,) + probs.shape)})
+    return ArrayDataset(
+        inputs,
+        targets,
+        extras={"transition_probs": np.broadcast_to(probs, (n_samples,) + probs.shape)},
+    )
 
 
 # ----------------------------------------------------------------------

@@ -64,7 +64,9 @@ class FeatureStatistics:
         return cls(mean=mean, cov=np.atleast_2d(cov))
 
 
-def frechet_distance(stats_a: FeatureStatistics, stats_b: FeatureStatistics, eps: float = 1e-6) -> float:
+def frechet_distance(
+    stats_a: FeatureStatistics, stats_b: FeatureStatistics, eps: float = 1e-6
+) -> float:
     """Fréchet distance between two Gaussians (the FID formula)."""
     mu1, sigma1 = stats_a.mean, stats_a.cov
     mu2, sigma2 = stats_b.mean, stats_b.cov

@@ -192,9 +192,13 @@ def paper_configurations(smoothquant_nlp: bool = True) -> List[SweepConfig]:
             name="E4M3-dynamic",
             fmt="E4M3",
             approach="Dynamic",
-            cv_recipe=standard_recipe(QuantFormat.E4M3, approach=Approach.DYNAMIC, name="cv-E4M3-dynamic"),
+            cv_recipe=standard_recipe(
+                QuantFormat.E4M3, approach=Approach.DYNAMIC, name="cv-E4M3-dynamic"
+            ),
             nlp_recipe=nlp(
-                standard_recipe(QuantFormat.E4M3, approach=Approach.DYNAMIC, name="nlp-E4M3-dynamic")
+                standard_recipe(
+                    QuantFormat.E4M3, approach=Approach.DYNAMIC, name="nlp-E4M3-dynamic"
+                )
             ),
         ),
         SweepConfig(
@@ -208,9 +212,13 @@ def paper_configurations(smoothquant_nlp: bool = True) -> List[SweepConfig]:
             name="E3M4-dynamic",
             fmt="E3M4",
             approach="Dynamic",
-            cv_recipe=standard_recipe(QuantFormat.E3M4, approach=Approach.DYNAMIC, name="cv-E3M4-dynamic"),
+            cv_recipe=standard_recipe(
+                QuantFormat.E3M4, approach=Approach.DYNAMIC, name="cv-E3M4-dynamic"
+            ),
             nlp_recipe=nlp(
-                standard_recipe(QuantFormat.E3M4, approach=Approach.DYNAMIC, name="nlp-E3M4-dynamic")
+                standard_recipe(
+                    QuantFormat.E3M4, approach=Approach.DYNAMIC, name="nlp-E3M4-dynamic"
+                )
             ),
         ),
         SweepConfig(

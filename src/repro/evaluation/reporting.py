@@ -13,7 +13,9 @@ def _fmt_cell(value) -> str:
     return str(value)
 
 
-def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None, title: str = ""
+) -> str:
     """Format a list of dict rows as an aligned plain-text table."""
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"

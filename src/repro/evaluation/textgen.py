@@ -52,7 +52,9 @@ def distinct_n(tokens: Sequence[int], ngram: int = 2) -> float:
     return len(set(grams)) / len(grams)
 
 
-def grammar_log_likelihood(tokens: Sequence[int], transition_probs: np.ndarray, eps: float = 1e-9) -> float:
+def grammar_log_likelihood(
+    tokens: Sequence[int], transition_probs: np.ndarray, eps: float = 1e-9
+) -> float:
     """Mean log-likelihood of consecutive token transitions under the true Markov grammar."""
     tokens = np.asarray(tokens, dtype=np.int64)
     if tokens.size < 2:

@@ -240,7 +240,7 @@ class FP8Format:
         """
         from repro.fp8 import kernels
 
-        if kernels.get_active_kernel() == "fast":
+        if kernels.get_active_kernel() != "reference":
             return kernels.fp8_encode_fast(x, self)
         return kernels.fp8_encode_reference(x, self)
 
@@ -262,7 +262,7 @@ class FP8Format:
         """
         from repro.fp8 import kernels
 
-        if kernels.get_active_kernel() == "fast":
+        if kernels.get_active_kernel() != "reference":
             return kernels.fp8_decode_fast(codes, self)
         return kernels.fp8_decode_reference(codes, self)
 
@@ -307,16 +307,12 @@ E3M4 = FP8Format(name="E3M4", exponent_bits=3, mantissa_bits=4, bias=3, ieee_lik
 # included for completeness / ablations.
 E2M5 = FP8Format(name="E2M5", exponent_bits=2, mantissa_bits=5, bias=1, ieee_like=False)
 
-FORMAT_REGISTRY: Dict[str, FP8Format] = {
-    fmt.name: fmt for fmt in (E5M2, E4M3, E3M4, E2M5)
-}
+FORMAT_REGISTRY: Dict[str, FP8Format] = {fmt.name: fmt for fmt in (E5M2, E4M3, E3M4, E2M5)}
 
 
 def get_format(name: str) -> FP8Format:
     """Look up an FP8 format by name (case-insensitive)."""
     key = name.upper()
     if key not in FORMAT_REGISTRY:
-        raise KeyError(
-            f"Unknown FP8 format {name!r}; available: {sorted(FORMAT_REGISTRY)}"
-        )
+        raise KeyError(f"Unknown FP8 format {name!r}; available: {sorted(FORMAT_REGISTRY)}")
     return FORMAT_REGISTRY[key]

@@ -12,7 +12,7 @@ fast path is tested against.
 
 Kernel dispatch
 ---------------
-Two kernels are registered:
+Three kernels are registered:
 
 ``fast`` (default)
     Direct IEEE-754 bit manipulation on float32 (or float64) views: exponent
@@ -26,14 +26,33 @@ Two kernels are registered:
     The original table-``searchsorted`` implementation — slow but transparent;
     serves as the oracle in ``tests/fp8/test_kernels.py``.
 
+``native``
+    Compiled fused C kernels (:mod:`repro.fp8.native`): the decode → rescale
+    chain runs as one ``cc``-compiled ctypes call instead of four numpy
+    passes, bit-identical to ``fast`` by construction.  Encode/round paths
+    are shared with ``fast`` (they are already single fused numpy passes).
+    When no C compiler is present :func:`get_active_kernel` resolves
+    ``native`` to ``fast`` automatically — one warning, then silence — so
+    selecting ``native`` is always safe.
+
 Selection, in precedence order:
 
 1. :func:`set_kernel` / :class:`use_kernel` (programmatic override),
-2. the ``REPRO_FP8_KERNEL`` environment variable (``fast`` | ``reference``),
+2. the ``REPRO_FP8_KERNEL`` environment variable
+   (``fast`` | ``reference`` | ``native``),
 3. the default, ``fast``.
 
-``benchmarks/bench_kernel_throughput.py`` records elements/sec for both
-kernels on the same workloads.
+The programmatic override is **thread-local**: ``set_kernel``/``use_kernel``
+affect only the calling thread, so ``ServingEngine`` worker threads and
+concurrent tests can toggle kernels without racing each other.  Threads that
+never set an override (including worker threads spawned inside a
+``use_kernel`` block — thread-locals do not inherit) fall through to the
+environment variable, which is the process-wide switch.  This is safe by
+construction: every tier is bit-identical on the decode paths, so a worker
+resolving a different tier than its spawner produces the same bits.
+
+``benchmarks/bench_kernel_throughput.py`` records elements/sec for the numpy
+kernels and ``benchmarks/bench_native_kernels.py`` gates the native tier.
 
 Bit-twiddling notes
 -------------------
@@ -61,6 +80,7 @@ format with ``m`` mantissa bits and bias ``b``:
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from contextlib import contextmanager
 from functools import lru_cache
@@ -93,46 +113,56 @@ __all__ = [
 AxisLike = Optional[Union[int, Sequence[int]]]
 
 KERNEL_ENV_VAR = "REPRO_FP8_KERNEL"
-VALID_KERNELS = ("fast", "reference")
+VALID_KERNELS = ("fast", "reference", "native")
 
-_kernel_override: Optional[str] = None
+#: per-thread programmatic override; ``.name`` is unset until the thread calls
+#: :func:`set_kernel` / :func:`use_kernel` (thread-locals do not inherit, so a
+#: worker thread spawned inside a ``use_kernel`` block sees the env/default)
+_kernel_override = threading.local()
 
 
 def _validate(name: str) -> str:
     name = name.strip().lower()
     if name not in VALID_KERNELS:
-        raise ValueError(
-            f"unknown FP8 kernel {name!r}; valid kernels: {', '.join(VALID_KERNELS)}"
-        )
+        raise ValueError(f"unknown FP8 kernel {name!r}; valid kernels: {', '.join(VALID_KERNELS)}")
     return name
 
 
 def get_active_kernel() -> str:
-    """Return the currently selected kernel name (``"fast"`` or ``"reference"``)."""
-    if _kernel_override is not None:
-        return _kernel_override
-    env = os.environ.get(KERNEL_ENV_VAR, "").strip()
-    if env:
-        return _validate(env)
-    return "fast"
+    """Return the selected kernel name, resolved to a usable tier.
+
+    Precedence: this thread's programmatic override, then the
+    ``REPRO_FP8_KERNEL`` environment variable, then ``"fast"``.  A ``native``
+    selection resolves to ``"fast"`` when no C compiler is available (the
+    runtime warns once per process), so callers can branch on the returned
+    name without re-checking availability.
+    """
+    name = getattr(_kernel_override, "name", None)
+    if name is None:
+        env = os.environ.get(KERNEL_ENV_VAR, "").strip()
+        name = _validate(env) if env else "fast"
+    if name == "native":
+        from repro.fp8 import native
+
+        if not native.native_available():
+            return "fast"
+    return name
 
 
 def set_kernel(name: Optional[str]) -> None:
-    """Override the active kernel programmatically (``None`` restores env/default)."""
-    global _kernel_override
-    _kernel_override = None if name is None else _validate(name)
+    """Override the active kernel for the calling thread (``None`` restores env/default)."""
+    _kernel_override.name = None if name is None else _validate(name)
 
 
 @contextmanager
 def use_kernel(name: str) -> Iterator[None]:
-    """Context manager that temporarily selects a kernel."""
-    global _kernel_override
-    previous = _kernel_override
-    _kernel_override = _validate(name)
+    """Context manager that temporarily selects a kernel in the calling thread."""
+    previous = getattr(_kernel_override, "name", None)
+    _kernel_override.name = _validate(name)
     try:
         yield
     finally:
-        _kernel_override = previous
+        _kernel_override.name = previous
 
 
 # ======================================================================
@@ -385,9 +415,7 @@ def fp8_decode_fast(codes: np.ndarray, fmt: FP8Format) -> np.ndarray:
     return _decode_lut(fmt)[codes]
 
 
-def quantize_dequantize_fused(
-    x: np.ndarray, fmt: FP8Format, scale: np.ndarray
-) -> np.ndarray:
+def quantize_dequantize_fused(x: np.ndarray, fmt: FP8Format, scale: np.ndarray) -> np.ndarray:
     """Fused scale → bit-round → rescale Q/DQ round trip.
 
     Bit-identical to the reference ``fp8_round(x * scale) / scale`` pipeline
@@ -441,9 +469,7 @@ def channel_absmax(x: np.ndarray, axis: AxisLike = None) -> np.ndarray:
     return np.asarray(absmax, dtype=np.float64)
 
 
-def absmax_to_scale(
-    absmax: np.ndarray, max_value: float, eps: float = 1e-12
-) -> np.ndarray:
+def absmax_to_scale(absmax: np.ndarray, max_value: float, eps: float = 1e-12) -> np.ndarray:
     """Map calibrated absmax values onto scales, ``s = max_value / absmax``.
 
     The absmax is clamped from below by ``eps`` so all-zero tensors/channels
@@ -488,23 +514,33 @@ def fp8_quantize_channelwise(
     else:
         scale = np.asarray(scale, dtype=np.float64)
     scaled = np.multiply(x, scale, dtype=np.float64)
-    if get_active_kernel() == "fast":
+    # the native tier shares the fast encoder (encode is already one fused pass)
+    if get_active_kernel() != "reference":
         codes = fp8_encode_fast(scaled, fmt)
     else:
         codes = fp8_encode_reference(scaled, fmt)
     return codes, scale
 
 
-def fp8_dequantize_channelwise(
-    codes: np.ndarray, fmt: FP8Format, scale: np.ndarray
-) -> np.ndarray:
+def fp8_dequantize_channelwise(codes: np.ndarray, fmt: FP8Format, scale: np.ndarray) -> np.ndarray:
     """Fused decode → rescale: one gather plus one broadcast divide.
 
     Inverse of :func:`fp8_quantize_channelwise`; the divide happens in float64
     against the broadcast (never materialised) scale and the result is cast
-    to float32, matching the fused Q/DQ pipeline bit for bit.
+    to float32, matching the fused Q/DQ pipeline bit for bit.  Under the
+    ``native`` tier the whole chain runs as a single compiled C pass
+    (bit-identical by construction); layouts the C kernels do not cover fall
+    back to the numpy path transparently.
     """
-    if get_active_kernel() == "fast":
+    kernel = get_active_kernel()
+    if kernel == "native":
+        from repro.fp8 import native
+
+        out = native.decode_rescale(np.asarray(codes), fmt, np.asarray(scale))
+        if out is not None:
+            return out
+        kernel = "fast"
+    if kernel != "reference":
         values = fp8_decode_fast(codes, fmt)
     else:
         values = fp8_decode_reference(codes, fmt)
@@ -529,7 +565,9 @@ def quantize_dequantize_axis(
     if absmax is None:
         absmax = channel_absmax(x, axis)
     scale = absmax_to_scale(absmax, fmt.max_value)
-    if get_active_kernel() == "fast":
+    # native shares the fast fused round trip (round/rescale is compute-bound
+    # in the float64 bit-twiddling, not in temporaries)
+    if get_active_kernel() != "reference":
         return quantize_dequantize_fused(x, fmt, scale)
     scaled = np.multiply(x, scale, dtype=np.float64)
     q = fp8_round_reference(scaled, fmt)

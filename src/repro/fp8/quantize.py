@@ -127,7 +127,8 @@ def fp8_round(x: np.ndarray, fmt: FormatLike) -> np.ndarray:
         Array of the same shape with float32 values lying on the format grid.
     """
     fmt = _resolve(fmt)
-    if kernels.get_active_kernel() == "fast":
+    # native shares the fast rounding kernel (see repro.fp8.kernels)
+    if kernels.get_active_kernel() != "reference":
         return kernels.fp8_round_fast(x, fmt)
     return kernels.fp8_round_reference(x, fmt)
 
@@ -225,7 +226,7 @@ def quantize_dequantize(
     if scale is None:
         return kernels.quantize_dequantize_axis(x, fmt, axis=axis)
     scale = np.asarray(scale, dtype=np.float64)
-    if kernels.get_active_kernel() == "fast":
+    if kernels.get_active_kernel() != "reference":
         return kernels.quantize_dequantize_fused(x, fmt, scale)
     x = np.asarray(x, dtype=np.float64)
     q = fp8_round(x * scale, fmt)

@@ -43,7 +43,9 @@ __all__ = ["TraceAborted", "Node", "Graph", "MATMUL_KINDS", "ELEMENTWISE_OPS"]
 
 #: node kinds whose executors write into a preallocated output buffer and can
 #: therefore absorb an in-place elementwise epilogue
-MATMUL_KINDS = ("linear", "qlinear_mm", "qlinear_stream_mm", "qlinear", "qlinear_stream", "matmul2", "ew2")
+MATMUL_KINDS = (
+    "linear", "qlinear_mm", "qlinear_stream_mm", "qlinear", "qlinear_stream", "matmul2", "ew2"
+)
 
 #: ops a single-input ``ew`` node may carry (and a ``fused_ew``/epilogue chain)
 ELEMENTWISE_OPS = ("relu", "sigmoid", "tanh", "gelu", "silu")

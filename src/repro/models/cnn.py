@@ -223,7 +223,9 @@ class TinyMobileNet(nn.Module):
         blocks: List[nn.Module] = []
         cin = widths[0]
         for width in widths:
-            blocks.append(DepthwiseSeparable(cin, width, stride=1 if width == widths[0] else 2, rng=rng))
+            blocks.append(
+                DepthwiseSeparable(cin, width, stride=1 if width == widths[0] else 2, rng=rng)
+            )
             cin = width
         self.blocks = nn.Sequential(*blocks)
         self.pool = nn.AdaptiveAvgPool2d(1)
@@ -268,7 +270,9 @@ class TinyShuffleNet(nn.Module):
         for i in range(num_blocks):
             blocks.append(_conv_bn_relu(width, width, 1, 1, rng, groups=groups))
             blocks.append(ChannelShuffle(groups))
-            blocks.append(_conv_bn_relu(width, width, 3, 2 if i == num_blocks - 1 else 1, rng, groups=width))
+            blocks.append(
+                _conv_bn_relu(width, width, 3, 2 if i == num_blocks - 1 else 1, rng, groups=width)
+            )
             blocks.append(_conv_bn_relu(width, width, 1, 1, rng, groups=groups))
         self.blocks = nn.Sequential(*blocks)
         self.pool = nn.AdaptiveAvgPool2d(1)
@@ -303,7 +307,9 @@ class SqueezeExcite(nn.Module):
 class MBConv(nn.Module):
     """EfficientNet MBConv block: expand -> depthwise -> SE -> project (+ residual)."""
 
-    def __init__(self, cin: int, cout: int, expand: int = 2, stride: int = 1, rng: RngLike = None) -> None:
+    def __init__(
+        self, cin: int, cout: int, expand: int = 2, stride: int = 1, rng: RngLike = None
+    ) -> None:
         super().__init__()
         rng = seeded_rng(rng)
         hidden = cin * expand
@@ -311,7 +317,9 @@ class MBConv(nn.Module):
             nn.Conv2d(cin, hidden, 1, bias=False, rng=rng), nn.BatchNorm2d(hidden), nn.SiLU()
         )
         self.depthwise = nn.Sequential(
-            nn.Conv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden, bias=False, rng=rng),
+            nn.Conv2d(
+                hidden, hidden, 3, stride=stride, padding=1, groups=hidden, bias=False, rng=rng
+            ),
             nn.BatchNorm2d(hidden),
             nn.SiLU(),
         )
@@ -373,12 +381,18 @@ class InceptionBlock(nn.Module):
         rng = seeded_rng(rng)
         self.branch1 = _conv_bn_relu(cin, branch_width, 1, 1, rng)
         self.branch3 = nn.Sequential(
-            _conv_bn_relu(cin, branch_width, 1, 1, rng), _conv_bn_relu(branch_width, branch_width, 3, 1, rng)
+            _conv_bn_relu(cin, branch_width, 1, 1, rng), _conv_bn_relu(
+                branch_width, branch_width, 3, 1, rng
+            )
         )
         self.branch5 = nn.Sequential(
-            _conv_bn_relu(cin, branch_width, 1, 1, rng), _conv_bn_relu(branch_width, branch_width, 5, 1, rng)
+            _conv_bn_relu(cin, branch_width, 1, 1, rng), _conv_bn_relu(
+                branch_width, branch_width, 5, 1, rng
+            )
         )
-        self.branch_pool = nn.Sequential(nn.AvgPool2d(3, stride=1), _conv_bn_relu(cin, branch_width, 1, 1, rng))
+        self.branch_pool = nn.Sequential(
+            nn.AvgPool2d(3, stride=1), _conv_bn_relu(cin, branch_width, 1, 1, rng)
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         pooled_in = x.pad2d((1, 1))

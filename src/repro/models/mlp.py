@@ -68,12 +68,16 @@ class DLRMStyle(nn.Module):
             packed = inputs.data if isinstance(inputs, Tensor) else np.asarray(inputs)
             dense, sparse = packed[:, : self.n_dense], packed[:, self.n_dense :]
         dense_t = dense if isinstance(dense, Tensor) else Tensor(dense)
-        sparse = np.asarray(sparse if not isinstance(sparse, Tensor) else sparse.data, dtype=np.int64)
+        sparse = np.asarray(
+            sparse if not isinstance(sparse, Tensor) else sparse.data, dtype=np.int64
+        )
         bottom = self.bottom_mlp(dense_t)  # (N, embed_dim)
         features = [bottom]
         for i, emb in enumerate(self.embeddings):
             features.append(emb(sparse[:, i : i + 1]))
-        stacked = Tensor.concatenate([f.reshape(f.shape[0], 1, self.embed_dim) for f in features], axis=1)
+        stacked = Tensor.concatenate(
+            [f.reshape(f.shape[0], 1, self.embed_dim) for f in features], axis=1
+        )
         # pairwise dot-product interactions
         inter = stacked.matmul(stacked.transpose(0, 2, 1))  # (N, F, F)
         n_features = len(features)

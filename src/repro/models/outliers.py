@@ -84,9 +84,7 @@ def inject_nlp_outliers(
     return injected
 
 
-def find_outlier_channels(
-    activations: np.ndarray, threshold_sigma: float = 6.0
-) -> np.ndarray:
+def find_outlier_channels(activations: np.ndarray, threshold_sigma: float = 6.0) -> np.ndarray:
     """Return channel indices whose max |activation| exceeds ``threshold_sigma`` * median channel max.
 
     ``activations`` is any array whose last axis is the channel/hidden axis.

@@ -139,9 +139,15 @@ def _prepare_tokens(inputs: np.ndarray):
 
 TASK_TYPE_TABLE = {
     "image_classification": (_classification_loss, classification_accuracy, _prepare_float, "top1"),
-    "text_classification": (_classification_loss, classification_accuracy, _prepare_tokens, "accuracy"),
-    "sequence_classification": (_classification_loss, classification_accuracy, _prepare_float, "accuracy"),
-    "language_modeling": (_classification_loss, next_token_accuracy, _prepare_tokens, "next-token acc"),
+    "text_classification": (
+        _classification_loss, classification_accuracy, _prepare_tokens, "accuracy"
+    ),
+    "sequence_classification": (
+        _classification_loss, classification_accuracy, _prepare_float, "accuracy"
+    ),
+    "language_modeling": (
+        _classification_loss, next_token_accuracy, _prepare_tokens, "next-token acc"
+    ),
     "segmentation": (_segmentation_loss, mean_iou, _prepare_float, "mIoU"),
     "ctr": (_ctr_loss, roc_auc, _prepare_float, "auc"),
     "denoising": (_mse_loss, negative_mse, _prepare_float, "-mse"),
@@ -362,7 +368,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="resnet",
-        model_fn=lambda rng: TinyResNet(num_classes=_CV_CLASSES, widths=(12, 24, 48), blocks_per_stage=1, rng=rng),
+        model_fn=lambda rng: TinyResNet(
+            num_classes=_CV_CLASSES, widths=(12, 24, 48), blocks_per_stage=1, rng=rng
+        ),
         data_fn=_img_data(noise=3.0),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -377,7 +385,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="resnet",
-        model_fn=lambda rng: TinyResNet(num_classes=_CV_CLASSES, widths=(16, 32, 64), blocks_per_stage=2, rng=rng),
+        model_fn=lambda rng: TinyResNet(
+            num_classes=_CV_CLASSES, widths=(16, 32, 64), blocks_per_stage=2, rng=rng
+        ),
         data_fn=_img_data(noise=3.0),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -392,7 +402,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="resnet",
-        model_fn=lambda rng: TinyResNet(num_classes=_CV_CLASSES, widths=(16, 32, 48), blocks_per_stage=2, rng=rng),
+        model_fn=lambda rng: TinyResNet(
+            num_classes=_CV_CLASSES, widths=(16, 32, 48), blocks_per_stage=2, rng=rng
+        ),
         data_fn=_img_data(noise=3.3),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -407,7 +419,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="vgg",
-        model_fn=lambda rng: TinyVGG(num_classes=_CV_CLASSES, widths=(12, 24, 48), batch_norm=False, rng=rng),
+        model_fn=lambda rng: TinyVGG(
+            num_classes=_CV_CLASSES, widths=(12, 24, 48), batch_norm=False, rng=rng
+        ),
         data_fn=_img_data(noise=3.0),
         train=_CNN_TRAIN,
         has_batchnorm=False,
@@ -422,7 +436,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="densenet",
-        model_fn=lambda rng: TinyDenseNet(num_classes=_CV_CLASSES, growth=8, layers_per_block=3, rng=rng),
+        model_fn=lambda rng: TinyDenseNet(
+            num_classes=_CV_CLASSES, growth=8, layers_per_block=3, rng=rng
+        ),
         data_fn=_img_data(noise=3.0),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -437,7 +453,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="densenet",
-        model_fn=lambda rng: TinyDenseNet(num_classes=_CV_CLASSES, growth=12, layers_per_block=4, rng=rng),
+        model_fn=lambda rng: TinyDenseNet(
+            num_classes=_CV_CLASSES, growth=12, layers_per_block=4, rng=rng
+        ),
         data_fn=_img_data(noise=3.15),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -482,7 +500,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="efficientnet",
-        model_fn=lambda rng: TinyEfficientNet(num_classes=_CV_CLASSES, widths=(12, 20, 32), rng=rng),
+        model_fn=lambda rng: TinyEfficientNet(
+            num_classes=_CV_CLASSES, widths=(12, 20, 32), rng=rng
+        ),
         data_fn=_img_data(noise=3.45),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -512,7 +532,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="vit",
-        model_fn=lambda rng: ViTStyleClassifier(num_classes=_CV_CLASSES, embed_dim=32, num_layers=2, rng=rng),
+        model_fn=lambda rng: ViTStyleClassifier(
+            num_classes=_CV_CLASSES, embed_dim=32, num_layers=2, rng=rng
+        ),
         data_fn=_img_data(noise=3.0),
         train=_VIT_TRAIN,
         has_batchnorm=False,
@@ -527,7 +549,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="vit",
-        model_fn=lambda rng: ViTStyleClassifier(num_classes=_CV_CLASSES, embed_dim=64, num_layers=3, rng=rng),
+        model_fn=lambda rng: ViTStyleClassifier(
+            num_classes=_CV_CLASSES, embed_dim=64, num_layers=3, rng=rng
+        ),
         data_fn=_img_data(noise=2.9),
         train=_VIT_TRAIN,
         has_batchnorm=False,
@@ -558,7 +582,9 @@ _register(
         domain="cv",
         task_type="image_classification",
         family="efficientnet",
-        model_fn=lambda rng: TinyEfficientNet(num_classes=_CV_CLASSES, widths=(16, 24, 40), rng=rng),
+        model_fn=lambda rng: TinyEfficientNet(
+            num_classes=_CV_CLASSES, widths=(16, 24, 40), rng=rng
+        ),
         data_fn=_img_data(noise=3.15),
         train=_CNN_TRAIN,
         has_batchnorm=True,
@@ -638,23 +664,40 @@ def _bert_entry(
 _register(_bert_entry("bert-base-mrpc", "BERT-base / MRPC", seed=31))
 _register(_bert_entry("bert-base-stsb", "BERT-base / STS-B", n_classes=5, seed=32))
 _register(_bert_entry("bert-base-cola", "BERT-base / CoLA", n_classes=2, seed=33))
-_register(_bert_entry("bert-base-sst2", "BERT-base / SST-2", n_classes=2, seed=34, signal_density=0.16))
+_register(
+    _bert_entry("bert-base-sst2", "BERT-base / SST-2", n_classes=2, seed=34, signal_density=0.16)
+)
 _register(
     _bert_entry(
-        "bert-large-rte", "BERT-large / RTE", embed_dim=64, num_layers=3, n_classes=2, seed=35,
+        "bert-large-rte",
+        "BERT-large / RTE",
+        embed_dim=64,
+        num_layers=3,
+        n_classes=2,
+        seed=35,
         outlier_alpha=32.0,
     )
 )
 _register(
     _bert_entry(
-        "bert-large-cola", "BERT-large / CoLA", embed_dim=64, num_layers=3, n_classes=2, seed=36,
+        "bert-large-cola",
+        "BERT-large / CoLA",
+        embed_dim=64,
+        num_layers=3,
+        n_classes=2,
+        seed=36,
         outlier_alpha=32.0,
     )
 )
 _register(_bert_entry("distilbert-mrpc", "DistilBERT / MRPC", num_layers=1, seed=37))
 _register(
     _bert_entry(
-        "longformer-mrpc", "Longformer / MRPC", local_window=4, num_layers=2, seed=38, outlier_alpha=28.0
+        "longformer-mrpc",
+        "Longformer / MRPC",
+        local_window=4,
+        num_layers=2,
+        seed=38,
+        outlier_alpha=28.0,
     )
 )
 _register(_bert_entry("funnel-mrpc", "Funnel / MRPC", funnel_pool=True, seed=39))
@@ -663,9 +706,15 @@ _register(
         "xlm-roberta-base-mrpc", "XLM-RoBERTa-base / MRPC", embed_dim=48, num_layers=2, seed=40
     )
 )
-_register(_bert_entry("albert-base-sst2", "ALBERT-base / SST-2", embed_dim=24, n_classes=2, seed=41))
-_register(_bert_entry("electra-small-sst2", "ELECTRA-small / SST-2", embed_dim=24, n_classes=2, seed=42))
-_register(_bert_entry("roberta-base-qnli", "RoBERTa-base / QNLI", embed_dim=48, n_classes=2, seed=43))
+_register(
+    _bert_entry("albert-base-sst2", "ALBERT-base / SST-2", embed_dim=24, n_classes=2, seed=41)
+)
+_register(
+    _bert_entry("electra-small-sst2", "ELECTRA-small / SST-2", embed_dim=24, n_classes=2, seed=42)
+)
+_register(
+    _bert_entry("roberta-base-qnli", "RoBERTa-base / QNLI", embed_dim=48, n_classes=2, seed=43)
+)
 
 
 def _lm_entry(
@@ -694,25 +743,48 @@ def _lm_entry(
     )
 
 
-_register(_lm_entry("bloom-7b1-lambada", "Bloom-7B1 / lambada-openai", embed_dim=48, num_layers=3, seed=51))
 _register(
     _lm_entry(
-        "bloom-176b-lambada", "Bloom-176B / lambada-openai", embed_dim=64, num_layers=4,
-        outlier_alpha=64.0, seed=52,
+        "bloom-7b1-lambada", "Bloom-7B1 / lambada-openai", embed_dim=48, num_layers=3, seed=51
     )
 )
 _register(
     _lm_entry(
-        "llama-65b-lambada", "LLaMA-65B / lambada-openai", embed_dim=64, num_layers=3,
-        outlier_alpha=56.0, seed=53,
+        "bloom-176b-lambada",
+        "Bloom-176B / lambada-openai",
+        embed_dim=64,
+        num_layers=4,
+        outlier_alpha=64.0,
+        seed=52,
     )
 )
-_register(_lm_entry("dialogpt-wikitext", "DialoGPT / wikitext", embed_dim=32, num_layers=2, seed=54))
 _register(
-    _lm_entry("marianmt-wmt-enro", "MarianMT / WMT EN-RO", embed_dim=32, num_layers=2, vocab_size=56, seed=55)
+    _lm_entry(
+        "llama-65b-lambada",
+        "LLaMA-65B / lambada-openai",
+        embed_dim=64,
+        num_layers=3,
+        outlier_alpha=56.0,
+        seed=53,
+    )
 )
 _register(
-    _lm_entry("pegasus-samsum", "Pegasus / SAMSum", embed_dim=40, num_layers=2, vocab_size=56, seed=56)
+    _lm_entry("dialogpt-wikitext", "DialoGPT / wikitext", embed_dim=32, num_layers=2, seed=54)
+)
+_register(
+    _lm_entry(
+        "marianmt-wmt-enro",
+        "MarianMT / WMT EN-RO",
+        embed_dim=32,
+        num_layers=2,
+        vocab_size=56,
+        seed=55,
+    )
+)
+_register(
+    _lm_entry(
+        "pegasus-samsum", "Pegasus / SAMSum", embed_dim=40, num_layers=2, vocab_size=56, seed=56
+    )
 )
 
 
@@ -725,7 +797,9 @@ _register(
         domain="audio",
         task_type="sequence_classification",
         family="wav2vec",
-        model_fn=lambda rng: Wav2VecStyleClassifier(n_features=16, num_classes=6, embed_dim=32, rng=rng),
+        model_fn=lambda rng: Wav2VecStyleClassifier(
+            n_features=16, num_classes=6, embed_dim=32, rng=rng
+        ),
         data_fn=lambda rng: make_sequence_regression(n_samples=768, noise=0.9, rng=rng),
         train=TrainConfig(epochs=7, batch_size=32, lr=2e-3),
         outlier_alpha=20.0,
@@ -739,7 +813,9 @@ _register(
         domain="audio",
         task_type="sequence_classification",
         family="wav2vec",
-        model_fn=lambda rng: Wav2VecStyleClassifier(n_features=16, num_classes=6, embed_dim=40, rng=rng),
+        model_fn=lambda rng: Wav2VecStyleClassifier(
+            n_features=16, num_classes=6, embed_dim=40, rng=rng
+        ),
         data_fn=lambda rng: make_sequence_regression(n_samples=768, noise=1.0, rng=rng),
         train=TrainConfig(epochs=7, batch_size=32, lr=2e-3),
         outlier_alpha=20.0,

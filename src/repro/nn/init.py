@@ -26,7 +26,9 @@ def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return fan_in, fan_out
 
 
-def kaiming_uniform(shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
     """He/Kaiming uniform initialisation for ReLU networks."""
     rng = seeded_rng(rng)
     fan_in, _ = _fan_in_out(shape)
@@ -34,7 +36,9 @@ def kaiming_uniform(shape: Tuple[int, ...], rng: RngLike = None, gain: float = n
     return rng.uniform(-bound, bound, size=shape).astype(np.float32)
 
 
-def kaiming_normal(shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: RngLike = None, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
     """He/Kaiming normal initialisation."""
     rng = seeded_rng(rng)
     fan_in, _ = _fan_in_out(shape)

@@ -35,7 +35,9 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         rng = seeded_rng(rng)
-        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng, gain=1.0))
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=rng, gain=1.0)
+        )
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:

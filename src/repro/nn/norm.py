@@ -94,7 +94,9 @@ class GroupNorm(Module):
     def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
         super().__init__()
         if num_channels % num_groups:
-            raise ValueError(f"num_channels {num_channels} not divisible by num_groups {num_groups}")
+            raise ValueError(
+                f"num_channels {num_channels} not divisible by num_groups {num_groups}"
+            )
         self.num_groups = num_groups
         self.num_channels = num_channels
         self.eps = eps

@@ -38,7 +38,9 @@ def absolute_accuracy_loss(fp32_metric: float, quantized_metric: float) -> float
     return float(fp32_metric - quantized_metric)
 
 
-def relative_accuracy_loss(fp32_metric: float, quantized_metric: float, eps: float = 1e-12) -> float:
+def relative_accuracy_loss(
+    fp32_metric: float, quantized_metric: float, eps: float = 1e-12
+) -> float:
     """Relative accuracy loss ``(fp32 - quantized) / fp32`` used by the pass criterion."""
     return float((fp32_metric - quantized_metric) / max(abs(fp32_metric), eps))
 

@@ -119,7 +119,9 @@ class MovingAverageMinMaxObserver(Observer):
             mn = np.min(x, axis=axes)
             mx = np.max(x, axis=axes)
         if self._min is None:
-            self._min, self._max = np.asarray(mn, dtype=np.float64), np.asarray(mx, dtype=np.float64)
+            self._min, self._max = np.asarray(mn, dtype=np.float64), np.asarray(
+                mx, dtype=np.float64
+            )
         else:
             m = self.momentum
             self._min = m * self._min + (1 - m) * mn

@@ -127,7 +127,9 @@ class OperatorQuantConfig:
         weight = self.weight
         if weight is not None and weight_fmt is not None:
             weight = replace(weight, fmt=weight_fmt)
-        return OperatorQuantConfig(activation=replace(self.activation, fmt=activation_fmt), weight=weight)
+        return OperatorQuantConfig(
+            activation=replace(self.activation, fmt=activation_fmt), weight=weight
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (inverted by :meth:`from_dict`); used by checkpoints."""
@@ -294,7 +296,9 @@ FormatLike = Union[str, QuantFormat]
 
 
 def _fmt(fmt: FormatLike) -> QuantFormat:
-    return fmt if isinstance(fmt, QuantFormat) else QuantFormat(str(fmt).upper() if str(fmt).lower() != "int8-asym" else "INT8-asym")
+    return fmt if isinstance(fmt, QuantFormat) else QuantFormat(
+        str(fmt).upper() if str(fmt).lower() != "int8-asym" else "INT8-asym"
+    )
 
 
 def standard_recipe(

@@ -302,9 +302,7 @@ class QuantizedModule(Module):
         self.module_name = name
         self.observing = False
         self.quantizing = False
-        self.input_quantizers = [
-            TensorQuantizer(config.activation) for _ in range(self.num_inputs)
-        ]
+        self.input_quantizers = [TensorQuantizer(config.activation) for _ in range(self.num_inputs)]
         self.weight_quantizer: Optional[TensorQuantizer] = None
         if self.has_weight and config.weight is not None and hasattr(inner, "weight"):
             self.weight_quantizer = TensorQuantizer(
@@ -775,12 +773,35 @@ class QuantizedLinear(QuantizedModule):
         y = out
         if y is None:
             y = np.empty(x_np.shape[:-1] + (out_features,), dtype=np.float32)
-        for start, stop, w_block in self._iter_weight_blocks():
-            np.matmul(x_np, w_block.T, out=y[..., start:stop])
+        if not self._native_fma_matmul(x_np, y):
+            for start, stop, w_block in self._iter_weight_blocks():
+                np.matmul(x_np, w_block.T, out=y[..., start:stop])
         bias = getattr(self.inner, "bias", None)
         if bias is not None:
             np.add(y, bias.data, out=y)
         return y
+
+    def _native_fma_matmul(self, x_np: np.ndarray, y: np.ndarray) -> bool:
+        """Opt-in fully fused decode → rescale → FMA matmul (one ctypes call).
+
+        Replaces the whole blocked decode/matmul loop when the native kernel
+        tier is active *and* ``REPRO_NATIVE_FMA=1``: the packed weight is
+        decoded and accumulated inside a single compiled kernel, so neither
+        the dense float32 weight nor any per-block temporary ever exists.
+        Sequential C accumulation is not bit-identical to BLAS (which is why
+        the fusion is opt-in rather than implied by the tier — see
+        :mod:`repro.fp8.native`); returns False to keep the exact blocked
+        path whenever the fusion is off or the layout is unsupported.
+        """
+        from repro.fp8 import kernels, native
+
+        if not native.fma_enabled() or kernels.get_active_kernel() != "native":
+            return False
+        if not y.flags.c_contiguous:
+            return False
+        in_features = x_np.shape[-1] if x_np.ndim else 0
+        x2d = x_np.reshape(-1, in_features)
+        return native.qlinear_fma(self.weight_q, x2d, y.reshape(x2d.shape[0], -1))
 
     def trace_emit(self, tracer, args, kwargs):
         """Emit ``qdq`` + ``qlinear_(stream_)mm`` nodes (fused downstream).
@@ -962,7 +983,9 @@ QUANTIZED_MODULE_MAP = {
 }
 
 
-def wrap_module(type_name: str, module: Module, config: OperatorQuantConfig, name: str = "") -> QuantizedModule:
+def wrap_module(
+    type_name: str, module: Module, config: OperatorQuantConfig, name: str = ""
+) -> QuantizedModule:
     """Wrap ``module`` with the quantized wrapper registered for ``type_name``."""
     if type_name not in QUANTIZED_MODULE_MAP:
         raise KeyError(f"no quantized wrapper registered for operator type {type_name!r}")

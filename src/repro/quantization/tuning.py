@@ -86,7 +86,9 @@ def default_search_space(
             standard_recipe(fmt, name=f"standard-{fmt.value}"),
             extended_recipe(fmt, mixed_formats=True, name="extended-mixed"),
             standard_recipe(fmt, approach=Approach.DYNAMIC, name=f"dynamic-{fmt.value}"),
-            extended_recipe(fmt, mixed_formats=True, smoothquant=True, name="extended-mixed-smoothquant"),
+            extended_recipe(
+                fmt, mixed_formats=True, smoothquant=True, name="extended-mixed-smoothquant"
+            ),
         ]
     return [
         standard_recipe(fmt, name=f"standard-{fmt.value}"),

@@ -199,7 +199,9 @@ def calibrate_model(
     model.eval()
     count = 0
     with no_grad():
-        for batch in _iter_calibration_batches(calibration_data, prepare_inputs, batch_size, max_batches):
+        for batch in _iter_calibration_batches(
+            calibration_data, prepare_inputs, batch_size, max_batches
+        ):
             model(batch)
             count += 1
     return count
@@ -492,7 +494,10 @@ def quantize_model(
                 f"recipe {recipe.name!r} uses static quantization and requires calibration_data"
             )
         used = calibrate_model(
-            target, calibration_data, prepare_inputs=prepare_inputs, batch_size=calibration_batch_size
+            target,
+            calibration_data,
+            prepare_inputs=prepare_inputs,
+            batch_size=calibration_batch_size,
         )
         logger.debug("calibrated %s on %d batches", recipe.name, used)
 

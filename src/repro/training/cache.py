@@ -30,9 +30,7 @@ class ZooCache:
 
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         if cache_dir is None:
-            cache_dir = os.environ.get(
-                "REPRO_ZOO_CACHE", str(Path.home() / ".cache" / "repro-zoo")
-            )
+            cache_dir = os.environ.get("REPRO_ZOO_CACHE", str(Path.home() / ".cache" / "repro-zoo"))
         self.cache_dir = Path(cache_dir)
         self._memory: Dict[str, Tuple[Dict[str, np.ndarray], float]] = {}
 

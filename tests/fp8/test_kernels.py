@@ -6,6 +6,8 @@ both signs of every magnitude), on random tensors in float32 and float64, and
 on every special case — NaN, ±inf, ±0, subnormals and exact ties.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -130,6 +132,45 @@ class TestDispatch:
             fast = fp8_round(x, E4M3)
         assert_bitequal(ref, fast)
 
+    def test_override_is_thread_local(self, monkeypatch):
+        # regression: the override used to be a module global, racing when
+        # engine workers or concurrent tests toggled kernels — each thread
+        # must now see only its own use_kernel selection
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        n_threads, rounds = 4, 50
+        kernels_by_thread = ["fast", "reference"] * (n_threads // 2)
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def worker(kernel):
+            barrier.wait()
+            for _ in range(rounds):
+                with use_kernel(kernel):
+                    if get_active_kernel() != kernel:
+                        failures.append(kernel)
+            if get_active_kernel() != "fast":
+                failures.append(f"{kernel}: override leaked after use_kernel")
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in kernels_by_thread]
+        with use_kernel("reference"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert get_active_kernel() == "reference"
+        assert not failures
+
+    def test_worker_threads_do_not_inherit_override(self, monkeypatch):
+        # thread-locals do not inherit: a worker spawned inside a use_kernel
+        # block falls through to the env/default (documented semantics)
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        seen = []
+        with use_kernel("reference"):
+            t = threading.Thread(target=lambda: seen.append(get_active_kernel()))
+            t.start()
+            t.join()
+        assert seen == ["fast"]
+
 
 class TestExhaustiveCodeEquivalence:
     @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
@@ -175,9 +216,7 @@ class TestRandomTensorEquivalence:
     def test_encode_bitmatch(self, fmt, dtype):
         x = np.concatenate([random_values(fmt), special_values(fmt), tie_values(fmt)])
         x = x.astype(dtype)
-        np.testing.assert_array_equal(
-            fp8_encode_reference(x, fmt), fp8_encode_fast(x, fmt)
-        )
+        np.testing.assert_array_equal(fp8_encode_reference(x, fmt), fp8_encode_fast(x, fmt))
 
     @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
     def test_round_preserves_shape_and_noncontiguous_input(self, fmt):

@@ -1,0 +1,383 @@
+"""Native compiled kernel tier: bit-identity, dispatch, fallback and plans.
+
+The contract under test (see :mod:`repro.fp8.native`):
+
+* the fused decode → rescale C kernel is **bit-identical** to the numpy
+  ``fast`` path on every input — all formats, per-tensor and per-channel
+  scales, ragged shapes, NaN/inf codes (including NaN payload bits), empty
+  arrays — verified by comparing uint32 views;
+* the opt-in fused decode → rescale → FMA matmul is exact where every
+  partial sum is exactly representable (any accumulation order agrees), and
+  eager/plan-replay always agree bit-for-bit because both run the same
+  kernel;
+* plan replay under the native node compiler is bit-identical to eager for
+  both ``REPRO_FP8_KERNEL`` numpy settings and for the native tier;
+* with no C compiler the tier resolves to ``fast`` with a single warning and
+  everything keeps working.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp8 import E2M5, E3M4, E4M3, E5M2
+from repro.fp8 import native
+from repro.fp8.kernels import (
+    _decode_lut,
+    fp8_dequantize_channelwise,
+    get_active_kernel,
+    use_kernel,
+)
+from repro.fp8.native import codegen, runtime
+
+FORMATS = [E5M2, E4M3, E3M4, E2M5]
+
+pytestmark = pytest.mark.skipif(not native.native_available(), reason="no C compiler available")
+
+
+def assert_bits_equal(a, b):
+    """float32 arrays must agree bit-for-bit (NaN payloads, signed zeros)."""
+    a, b = np.asarray(a), np.asarray(b)
+    assert a.dtype == np.float32 and b.dtype == np.float32
+    np.testing.assert_array_equal(a.view(np.uint32), b.view(np.uint32))
+
+
+def numpy_fast_decode(codes, fmt, scale):
+    """The numpy ``fast`` oracle the native kernels must reproduce exactly."""
+    with use_kernel("fast"):
+        return fp8_dequantize_channelwise(codes, fmt, scale)
+
+
+# ----------------------------------------------------------------------
+# fused decode → rescale: bit-identity against the numpy fast oracle
+# ----------------------------------------------------------------------
+class TestDecodeBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.data(),
+        fmt=st.sampled_from([E4M3, E5M2]),
+        rows=st.integers(0, 33),
+        cols=st.integers(0, 300),
+        per_channel=st.booleans(),
+    )
+    def test_hypothesis_decode_matches_fast(self, data, fmt, rows, cols, per_channel):
+        # random raw codes cover the whole code space: normals, subnormals,
+        # signed zeros, infinities (E5M2) and NaNs with payload bits; codes
+        # come from a drawn seed because rows*cols can exceed the element
+        # count hypothesis will generate as a list
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        codes = (
+            np.random.default_rng(seed)
+            .integers(0, 256, size=rows * cols, dtype=np.int64)
+            .astype(np.uint8)
+            .reshape(rows, cols)
+        )
+        if per_channel:
+            scale = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.floats(1e-6, 1e6, allow_nan=False),
+                        min_size=rows,
+                        max_size=rows,
+                    )
+                ),
+                dtype=np.float64,
+            ).reshape(rows, 1)
+        else:
+            scale = np.asarray(data.draw(st.floats(1e-6, 1e6, allow_nan=False)))
+        got = native.decode_rescale(codes, fmt, scale)
+        assert got is not None
+        assert_bits_equal(got, numpy_fast_decode(codes, fmt, scale))
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("per_channel", [False, True], ids=["tensor", "channel"])
+    def test_all_codes_all_formats(self, fmt, per_channel):
+        # every code appears in every row; rows wide enough to take the
+        # rescaled-LUT branch and narrow slices to take the direct branch
+        codes = np.tile(np.arange(256, dtype=np.uint8), (5, 1))
+        scale = (
+            np.array([[0.25], [1.0], [3.7], [1e-5], [1e5]])
+            if per_channel
+            else np.asarray(0.37)
+        )
+        assert_bits_equal(
+            native.decode_rescale(codes, fmt, scale),
+            numpy_fast_decode(codes, fmt, scale),
+        )
+        narrow = np.ascontiguousarray(codes[:, :7])
+        assert_bits_equal(
+            native.decode_rescale(narrow, fmt, scale),
+            numpy_fast_decode(narrow, fmt, scale),
+        )
+
+    @pytest.mark.parametrize("shape", [(0, 16), (16, 0), (0,), (3, 1), (1, 1)])
+    def test_empty_and_degenerate_shapes(self, shape):
+        codes = np.zeros(shape, dtype=np.uint8)
+        got = native.decode_rescale(codes, E4M3, np.asarray(2.0))
+        assert got is not None and got.shape == shape
+        assert_bits_equal(got, numpy_fast_decode(codes, E4M3, np.asarray(2.0)))
+
+    def test_ragged_tail_blocks(self):
+        # block slicing as the streaming path produces it: a 70-row weight in
+        # 32-row blocks leaves a ragged 6-row tail
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 256, (70, 200), dtype=np.uint8)
+        scale = np.abs(rng.normal(1.0, 2.0, (70, 1))) + 1e-3
+        for start in range(0, 70, 32):
+            stop = min(start + 32, 70)
+            block, s = codes[start:stop], scale[start:stop]
+            assert_bits_equal(
+                native.decode_rescale(block, E4M3, s),
+                numpy_fast_decode(block, E4M3, s),
+            )
+
+    def test_nan_payloads_and_infinities_survive(self):
+        # E5M2 is IEEE-like: codes carry ±inf and NaNs with distinct payloads
+        codes = np.array([[0x7C, 0xFC, 0x7D, 0x7E, 0x7F, 0xFF]], dtype=np.uint8)
+        scale = np.asarray(1.7)
+        got = native.decode_rescale(codes, E5M2, scale)
+        want = numpy_fast_decode(codes, E5M2, scale)
+        assert np.isinf(want[0, 0]) and np.isnan(want[0, 2])
+        assert_bits_equal(got, want)
+
+    def test_unsupported_layouts_return_none(self):
+        codes = np.zeros((4, 6), dtype=np.uint8)
+        # per-column scale (channel axis 1) is not a native layout
+        assert native.decode_rescale(codes, E4M3, np.ones((1, 6))) is None
+        # int8 codes (the INT8 baseline path) are not FP8 codes
+        assert native.decode_rescale(codes.astype(np.int8), E4M3, np.asarray(1.0)) is None
+
+
+class TestDispatchIntegration:
+    def test_channelwise_dispatch_uses_native_and_matches(self):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 256, (24, 256), dtype=np.uint8)
+        scale = np.abs(rng.normal(1.0, 1.0, (24, 1))) + 1e-3
+        with use_kernel("native"):
+            assert get_active_kernel() == "native"
+            got = fp8_dequantize_channelwise(codes, E4M3, scale)
+        assert_bits_equal(got, numpy_fast_decode(codes, E4M3, scale))
+
+    def test_native_falls_back_on_unsupported_layout(self):
+        # per-column scale: the dispatch must transparently take the numpy path
+        rng = np.random.default_rng(12)
+        codes = rng.integers(0, 256, (4, 8), dtype=np.uint8)
+        scale = np.abs(rng.normal(1.0, 1.0, (1, 8))) + 1e-3
+        with use_kernel("native"):
+            got = fp8_dequantize_channelwise(codes, E4M3, scale)
+        assert_bits_equal(got, numpy_fast_decode(codes, E4M3, scale))
+
+    def test_disk_cache_hits_on_repeat_render(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(runtime.CACHE_ENV_VAR, str(tmp_path))
+        runtime.reset()
+        try:
+            assert native.decode_rescale(
+                np.zeros((2, 2), np.uint8), E4M3, np.asarray(1.0)
+            ) is not None
+            sos = sorted(p.name for p in tmp_path.glob("*.so"))
+            assert len(sos) == 1
+            # a fresh process state must reuse the cached object, not recompile
+            runtime.reset()
+            mtime = next(tmp_path.glob("*.so")).stat().st_mtime_ns
+            assert native.decode_rescale(
+                np.zeros((2, 2), np.uint8), E4M3, np.asarray(1.0)
+            ) is not None
+            assert next(tmp_path.glob("*.so")).stat().st_mtime_ns == mtime
+        finally:
+            runtime.reset()
+
+
+# ----------------------------------------------------------------------
+# fused decode → rescale → FMA matmul (opt-in)
+# ----------------------------------------------------------------------
+class _FakeWQ:
+    def __init__(self, fmt, codes, scale):
+        self.fmt = fmt
+        self.codes = codes
+        self.scale = scale
+        self.zero_point = None
+
+
+def exact_regime_case(rng, n, rows, cols, fmt=E4M3, per_row=True):
+    """A matmul whose partial sums are all exactly representable.
+
+    Activations are small integers and the decoded weights are scaled powers
+    of two, so every product and every partial sum is an exact small-ish
+    float32 integer multiple — any accumulation order yields identical bits,
+    which makes the sequential C kernel comparable against BLAS *exactly*.
+    """
+    # codes 0x38/0xB8 decode to ±1.0 in E4M3; scale of 0.5 doubles them
+    codes = rng.choice(np.array([0x38, 0xB8, 0x00], dtype=np.uint8), (rows, cols))
+    scale = np.full((rows, 1), 0.5) if per_row else np.asarray(0.5)
+    x = rng.integers(-4, 5, (n, cols)).astype(np.float32)
+    lut = _decode_lut(fmt)
+    w = (lut[codes].astype(np.float64) / np.asarray(scale)).astype(np.float32)
+    return _FakeWQ(fmt, codes, scale), x, x @ w.T
+
+
+class TestFusedFMA:
+    @pytest.mark.parametrize("n", [1, 2, 8, 9, 40], ids=lambda n: f"n{n}")
+    @pytest.mark.parametrize("per_row", [True, False], ids=["channel", "tensor"])
+    def test_exact_regime_matches_blas_bitwise(self, n, per_row):
+        rng = np.random.default_rng(n)
+        wq, x, want = exact_regime_case(rng, n, rows=37, cols=129, per_row=per_row)
+        y = np.empty((n, 37), dtype=np.float32)
+        assert native.qlinear_fma(wq, x, y)
+        assert_bits_equal(y, want)
+
+    def test_plan_binding_matches_runtime_dispatch(self):
+        rng = np.random.default_rng(0)
+        wq, x, _ = exact_regime_case(rng, 3, rows=16, cols=64)
+        y_dispatch = np.empty((3, 16), dtype=np.float32)
+        assert native.qlinear_fma(wq, x, y_dispatch)
+        bound = native.plan_qlinear_fma(wq, 3)
+        assert bound is not None
+        y_bound = np.empty((3, 16), dtype=np.float32)
+        bound(x, y_bound)
+        assert_bits_equal(y_bound, y_dispatch)
+
+    def test_batch_specialisations_agree_with_generic(self):
+        # the same inputs through the n-specialised kernel (n <= GENERIC_ROWS)
+        # and sliced through the generic kernel must agree exactly: identical
+        # per-row sequential accumulation, just unrolled differently
+        rng = np.random.default_rng(1)
+        big_n = codegen.GENERIC_ROWS + 5
+        wq, x, _ = exact_regime_case(rng, big_n, rows=11, cols=96)
+        y_generic = np.empty((big_n, 11), dtype=np.float32)
+        assert native.qlinear_fma(wq, x, y_generic)
+        for n in (1, 3, codegen.GENERIC_ROWS):
+            xs = np.ascontiguousarray(x[:n])
+            y_spec = np.empty((n, 11), dtype=np.float32)
+            assert native.qlinear_fma(wq, xs, y_spec)
+            assert_bits_equal(y_spec, y_generic[:n])
+
+    def test_fma_requires_opt_in(self, monkeypatch):
+        monkeypatch.delenv(native.FMA_ENV_VAR, raising=False)
+        assert not native.fma_enabled()
+        monkeypatch.setenv(native.FMA_ENV_VAR, "1")
+        assert native.fma_enabled()
+
+    def test_empty_batch_zero_fills(self):
+        wq, _, _ = exact_regime_case(np.random.default_rng(2), 1, rows=4, cols=8)
+        y = np.full((0, 4), np.nan, dtype=np.float32)
+        assert native.qlinear_fma(wq, np.empty((0, 8), np.float32), y)
+
+
+# ----------------------------------------------------------------------
+# native node compiler in the plan cache (the second wiring layer)
+# ----------------------------------------------------------------------
+class TestNativePlanCompiler:
+    def _quantized_mlp(self):
+        from repro import nn
+        from repro.quantization import quantize_model, set_serving_mode, standard_recipe
+        from repro.quantization.qconfig import Approach
+
+        rng = np.random.default_rng(7)
+        model = nn.Sequential(nn.Linear(32, 48, rng=rng), nn.ReLU(), nn.Linear(48, 16, rng=rng))
+        recipe = standard_recipe(
+            "E4M3",
+            approach=Approach.DYNAMIC,
+            skip_first_operator=False,
+            skip_last_operator=False,
+        )
+        qmodel = quantize_model(model, recipe).model
+        qmodel.eval()
+        set_serving_mode(qmodel, "streaming")
+        return qmodel
+
+    @pytest.mark.parametrize("fma", [False, True], ids=["decode-only", "fused-fma"])
+    def test_streaming_plan_replay_matches_eager(self, monkeypatch, fma):
+        # under the native tier the plan's streaming qlinear nodes either call
+        # _stream_matmul (decode-only: native decode per block, BLAS FLOPs) or
+        # the pre-bound single-ctypes-call kernel (REPRO_NATIVE_FMA=1); both
+        # must verify bit-for-bit against eager, because eager takes the same
+        # path — and the cache's compile-time check enforces it
+        from repro.autograd.tensor import Tensor, no_grad
+        from repro.graph import install_plan_cache, remove_plan_cache
+
+        if fma:
+            monkeypatch.setenv(native.FMA_ENV_VAR, "1")
+        else:
+            monkeypatch.delenv(native.FMA_ENV_VAR, raising=False)
+        with use_kernel("native"):
+            qmodel = self._quantized_mlp()
+            x = Tensor(np.random.default_rng(13).normal(0, 1, (3, 32)).astype(np.float32))
+            with no_grad():
+                eager = qmodel(x)
+            cache = install_plan_cache(qmodel)
+            try:
+                with no_grad():
+                    qmodel(x)
+                    replay = qmodel(x)
+                stats = cache.stats()
+            finally:
+                remove_plan_cache(qmodel)
+        assert stats["plans"] == 1 and stats["verify_failures"] == 0, stats
+        np.testing.assert_array_equal(eager.data, replay.data)
+
+    def test_fma_plan_differs_without_opt_in_weights(self, monkeypatch):
+        # sanity on the gating itself: with FMA off the node compiler must
+        # not pre-bind (native_call is None -> generic closure)
+        from repro.graph.plan import _native_stream_call
+
+        monkeypatch.delenv(native.FMA_ENV_VAR, raising=False)
+        with use_kernel("native"):
+            assert _native_stream_call(object(), None, None) is None
+
+
+# ----------------------------------------------------------------------
+# codegen properties
+# ----------------------------------------------------------------------
+class TestCodegen:
+    def test_renders_are_deterministic_and_distinct(self):
+        a = codegen.render_decode_kernel(E4M3, True)
+        assert a == codegen.render_decode_kernel(E4M3, True)
+        assert a != codegen.render_decode_kernel(E4M3, False)
+        assert a != codegen.render_decode_kernel(E5M2, True)
+        assert codegen.render_fma_kernel(E4M3, True, 2) != codegen.render_fma_kernel(E4M3, True, 3)
+
+    def test_lut_bits_are_exact(self):
+        src = codegen.render_decode_kernel(E4M3, False)
+        for bits in _decode_lut(E4M3).view(np.uint32)[:8]:
+            assert f"0x{int(bits):08x}u" in src
+
+    def test_invalid_block_shape_raises(self):
+        with pytest.raises(ValueError):
+            codegen.render_fma_kernel(E4M3, True, codegen.GENERIC_ROWS + 1)
+
+
+# ----------------------------------------------------------------------
+# no-compiler fallback
+# ----------------------------------------------------------------------
+class TestNoCompilerFallback:
+    @pytest.fixture
+    def no_cc(self, monkeypatch):
+        monkeypatch.setenv(runtime.CC_ENV_VAR, "/nonexistent/definitely-not-a-cc")
+        runtime.reset()
+        yield
+        runtime.reset()
+
+    def test_native_resolves_to_fast_with_one_warning(self, no_cc):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with use_kernel("native"):
+                assert get_active_kernel() == "fast"
+                assert get_active_kernel() == "fast"
+        relevant = [w for w in caught if "native" in str(w.message)]
+        assert len(relevant) == 1
+
+    def test_everything_still_green_without_compiler(self, no_cc):
+        rng = np.random.default_rng(9)
+        codes = rng.integers(0, 256, (8, 64), dtype=np.uint8)
+        scale = np.abs(rng.normal(1.0, 1.0, (8, 1))) + 1e-3
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with use_kernel("native"):
+                got = fp8_dequantize_channelwise(codes, E4M3, scale)
+            assert not native.native_available()
+            assert native.decode_rescale(codes, E4M3, scale) is None
+            assert native.plan_qlinear_fma(_FakeWQ(E4M3, codes, scale), 2) is None
+        assert_bits_equal(got, numpy_fast_decode(codes, E4M3, scale))

@@ -192,7 +192,9 @@ class TestStorageFootprint:
 
 
 class TestStateDictRoundTrip:
-    @pytest.mark.parametrize("fmt", FORMATS + [INT8_SYMMETRIC, INT8_ASYMMETRIC], ids=lambda f: f.name)
+    @pytest.mark.parametrize(
+        "fmt", FORMATS + [INT8_SYMMETRIC, INT8_ASYMMETRIC], ids=lambda f: f.name
+    )
     def test_roundtrip(self, fmt):
         x = _random(seed=11)
         qt = QuantizedTensor.quantize(x, fmt, axis=0)

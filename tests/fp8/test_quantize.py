@@ -92,7 +92,9 @@ class TestFp8Round:
     @given(st.floats(min_value=0.0, max_value=400.0, allow_nan=False))
     @settings(max_examples=100, deadline=None)
     def test_sign_symmetry(self, x):
-        assert fp8_round(np.array([-x]), E4M3)[0] == pytest.approx(-fp8_round(np.array([x]), E4M3)[0])
+        assert fp8_round(np.array([-x]), E4M3)[0] == pytest.approx(
+            -fp8_round(np.array([x]), E4M3)[0]
+        )
 
     @given(st.floats(min_value=-25.0, max_value=25.0, allow_nan=False))
     @settings(max_examples=100, deadline=None)
@@ -133,9 +135,7 @@ class TestQuantizeDequantize:
     def test_error_decreases_with_mantissa_bits_on_gaussian(self, fmt):
         rng = np.random.default_rng(0)
         x = rng.normal(0, 0.5, 20000)
-        errors = {
-            f.name: float(np.mean((quantize_dequantize(x, f) - x) ** 2)) for f in FORMATS
-        }
+        errors = {f.name: float(np.mean((quantize_dequantize(x, f) - x) ** 2)) for f in FORMATS}
         assert errors["E3M4"] < errors["E4M3"] < errors["E5M2"]
 
     def test_scaled_better_than_direct_for_small_values(self):
@@ -171,7 +171,9 @@ class TestQuantizeDequantize:
             assert np.allclose(q, 0)
         else:
             # max relative step of E4M3 is 2^-3 = 12.5%; allow half of that plus slack
-            assert np.all(np.abs(q - x) <= np.maximum(np.abs(x) * 0.0625, absmax / 448 * 0.51) + 1e-9)
+            assert np.all(
+                np.abs(q - x) <= np.maximum(np.abs(x) * 0.0625, absmax / 448 * 0.51) + 1e-9
+            )
 
     def test_quantized_tensor_roundtrip(self):
         x = np.random.default_rng(3).normal(size=(5, 7))

@@ -88,7 +88,7 @@ class TestFloatModel:
         assert stats["verify_failures"] == 0
 
 
-@pytest.mark.parametrize("kernel", ["fast", "reference"])
+@pytest.mark.parametrize("kernel", ["fast", "reference", "native"])
 @pytest.mark.parametrize("mode", ["cached", "streaming"])
 @pytest.mark.parametrize("fmt", ["E4M3", "E5M2"])
 @pytest.mark.parametrize("granularity", [Granularity.PER_CHANNEL, Granularity.PER_TENSOR])

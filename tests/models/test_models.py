@@ -29,7 +29,15 @@ def images(n=2, c=3, hw=16, seed=0):
     return Tensor(np.random.default_rng(seed).standard_normal((n, c, hw, hw)).astype(np.float32))
 
 
-CNN_CLASSES = [TinyVGG, TinyResNet, TinyDenseNet, TinyMobileNet, TinyShuffleNet, TinyEfficientNet, TinyInception]
+CNN_CLASSES = [
+    TinyVGG,
+    TinyResNet,
+    TinyDenseNet,
+    TinyMobileNet,
+    TinyShuffleNet,
+    TinyEfficientNet,
+    TinyInception,
+]
 
 
 class TestCNNFamily:
@@ -74,7 +82,9 @@ class TestCNNFamily:
 
 class TestTransformerFamily:
     def test_bert_classifier_shape(self):
-        model = BertStyleClassifier(vocab_size=32, num_classes=3, embed_dim=16, num_heads=2, num_layers=1)
+        model = BertStyleClassifier(
+            vocab_size=32, num_classes=3, embed_dim=16, num_heads=2, num_layers=1
+        )
         model.eval()
         tokens = np.random.default_rng(0).integers(0, 32, size=(4, 10))
         with no_grad():
@@ -113,7 +123,9 @@ class TestTransformerFamily:
         assert len(out) == 6 and out.max() < 12
 
     def test_vit_shape(self):
-        model = ViTStyleClassifier(num_classes=5, image_size=16, patch_size=4, embed_dim=16, num_heads=2)
+        model = ViTStyleClassifier(
+            num_classes=5, image_size=16, patch_size=4, embed_dim=16, num_heads=2
+        )
         model.eval()
         with no_grad():
             assert model(images()).shape == (2, 5)
@@ -183,7 +195,9 @@ class TestOutlierInjection:
         return captured
 
     def test_injection_is_function_preserving(self):
-        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=2, rng=np.random.default_rng(0))
+        model = BertStyleClassifier(
+            embed_dim=16, num_heads=2, num_layers=2, rng=np.random.default_rng(0)
+        )
         model.eval()
         tokens = np.random.default_rng(1).integers(0, 64, size=(4, 10))
         with no_grad():
@@ -195,7 +209,9 @@ class TestOutlierInjection:
         assert np.allclose(before, after, atol=1e-3)
 
     def test_injection_creates_outlier_channels(self):
-        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=1, rng=np.random.default_rng(0))
+        model = BertStyleClassifier(
+            embed_dim=16, num_heads=2, num_layers=1, rng=np.random.default_rng(0)
+        )
         model.eval()
         tokens = np.random.default_rng(1).integers(0, 64, size=(4, 10))
         inject_nlp_outliers(model, alpha=32.0, num_channels=2, rng=0)
@@ -207,7 +223,9 @@ class TestOutlierInjection:
         assert len(find_outlier_channels(clean)) == 0
 
     def test_injection_returns_channel_map(self):
-        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=3, rng=np.random.default_rng(0))
+        model = BertStyleClassifier(
+            embed_dim=16, num_heads=2, num_layers=3, rng=np.random.default_rng(0)
+        )
         injected = inject_nlp_outliers(model, alpha=8.0, num_channels=3, rng=0)
         assert len(injected) == 3  # one entry per layer
         assert all(len(channels) == 3 for channels in injected.values())

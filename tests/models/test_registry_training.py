@@ -90,14 +90,20 @@ class TestRegistry:
 
 class TestTraining:
     def test_training_reduces_loss(self):
-        dataset = make_classification_images(n_samples=128, image_size=8, n_classes=4, noise=0.5, rng=0)
+        dataset = make_classification_images(
+            n_samples=128, image_size=8, n_classes=4, noise=0.5, rng=0
+        )
         model = SimpleMLP(3 * 8 * 8, 4, hidden=(32,), rng=np.random.default_rng(0))
         loss_fn, metric_fn, prepare, _ = TASK_TYPE_TABLE["image_classification"]
-        losses = train_model(model, dataset, loss_fn, TrainConfig(epochs=3, lr=1e-2), prepare_inputs=prepare)
+        losses = train_model(
+            model, dataset, loss_fn, TrainConfig(epochs=3, lr=1e-2), prepare_inputs=prepare
+        )
         assert losses[-1] < losses[0]
 
     def test_trained_model_beats_chance(self):
-        dataset = make_classification_images(n_samples=192, image_size=8, n_classes=4, noise=0.5, rng=1)
+        dataset = make_classification_images(
+            n_samples=192, image_size=8, n_classes=4, noise=0.5, rng=1
+        )
         model = SimpleMLP(3 * 8 * 8, 4, hidden=(32,), rng=np.random.default_rng(0))
         loss_fn, metric_fn, prepare, _ = TASK_TYPE_TABLE["image_classification"]
         train_model(model, dataset, loss_fn, TrainConfig(epochs=4, lr=1e-2), prepare_inputs=prepare)
@@ -142,7 +148,9 @@ class TestCache:
             return 0.75
 
         metric1 = cache.get_or_train("k", model, train_fn)
-        metric2 = cache.get_or_train("k", SimpleMLP(4, 2, hidden=(4,), rng=np.random.default_rng(1)), train_fn)
+        metric2 = cache.get_or_train(
+            "k", SimpleMLP(4, 2, hidden=(4,), rng=np.random.default_rng(1)), train_fn
+        )
         assert metric1 == metric2 == 0.75
         assert len(calls) == 1
 

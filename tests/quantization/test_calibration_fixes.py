@@ -93,9 +93,7 @@ class TestMixedRecipeCalibrationGating:
 
 class TestPercentileReservoir:
     def _cfg(self, observer="percentile", granularity=Granularity.PER_TENSOR):
-        return TensorQuantConfig(
-            fmt=QuantFormat.E4M3, granularity=granularity, observer=observer
-        )
+        return TensorQuantConfig(fmt=QuantFormat.E4M3, granularity=granularity, observer=observer)
 
     def test_global_sample_bound_across_batches(self):
         obs = PercentileObserver(self._cfg(), max_samples=1000)

@@ -262,9 +262,7 @@ class TestStreamingBlockConfig:
         _, wrapper = self._linear_wrapper()
         monkeypatch.setenv("REPRO_STREAM_BLOCK", "-3")
         with pytest.warns(RuntimeWarning, match="positive integer"):
-            assert (
-                wrapper.streaming_block_size() == type(wrapper).streaming_block_channels
-            )
+            assert wrapper.streaming_block_size() == type(wrapper).streaming_block_channels
 
     def test_invalid_env_var_does_not_break_streaming_forward(self, monkeypatch):
         model, _ = self._linear_wrapper()
@@ -349,9 +347,7 @@ class TestPipelineServingMode:
         for _ in range(layers):
             stack.extend([nn.Linear(features, features, rng=rng), nn.ReLU()])
         model = nn.Sequential(*stack[:-1])
-        return quantize_model(
-            model, standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        ).model
+        return quantize_model(model, standard_recipe("E4M3", approach=Approach.DYNAMIC)).model
 
     def test_pipeline_wires_one_shared_coordinator(self):
         model = self._deep_model()

@@ -102,7 +102,9 @@ class TestQuantizedWrappers:
         scale = E4M3.max_value / np.abs(original).max(axis=1, keepdims=True)
         scaled = np.abs(linear.weight.data * scale)
         # every quantized weight lies on the E4M3 grid in the scaled domain
-        assert np.allclose(np.min(np.abs(scaled[..., None] - grid[None, None]), axis=-1), 0, atol=1e-3)
+        assert np.allclose(
+            np.min(np.abs(scaled[..., None] - grid[None, None]), axis=-1), 0, atol=1e-3
+        )
 
     def test_restore_undoes_weight_quantization(self):
         linear = nn.Linear(8, 4, rng=np.random.default_rng(0))
@@ -235,13 +237,18 @@ class TestQuantizedWrappers:
 
 class TestWorkflow:
     def _calib(self, n=32, dim=8, seed=0):
-        return [np.random.default_rng(seed + i).standard_normal((4, dim)).astype(np.float32) for i in range(n // 4)]
+        return [
+            np.random.default_rng(seed + i).standard_normal((4, dim)).astype(np.float32)
+            for i in range(n // 4)
+        ]
 
     def test_prepare_wraps_standard_operators(self):
         model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 2))
         result = prepare_model(model, standard_recipe("E4M3"))
         assert len(result.quantized_modules) == 2
-        assert all(isinstance(model.get_submodule(n), QuantizedModule) for n in result.quantized_modules)
+        assert all(
+            isinstance(model.get_submodule(n), QuantizedModule) for n in result.quantized_modules
+        )
 
     def test_prepare_respects_fallback_list(self):
         model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 2))

@@ -48,7 +48,9 @@ class TestMetrics:
 
 class TestSmoothQuant:
     def _model_with_outliers(self, alpha=32.0):
-        model = BertStyleClassifier(embed_dim=16, num_heads=2, num_layers=2, rng=np.random.default_rng(0))
+        model = BertStyleClassifier(
+            embed_dim=16, num_heads=2, num_layers=2, rng=np.random.default_rng(0)
+        )
         model.eval()
         inject_nlp_outliers(model, alpha=alpha, num_channels=2, rng=0)
         return model
@@ -86,7 +88,9 @@ class TestSmoothQuant:
         model = self._model_with_outliers(alpha=48.0)
         pairs = find_smoothable_pairs(model)
         ln_modules = [ln for _, ln, _, _ in pairs]
-        before = collect_channel_absmax(model, ln_modules, self._calib(), prepare_inputs=lambda x: x)
+        before = collect_channel_absmax(
+            model, ln_modules, self._calib(), prepare_inputs=lambda x: x
+        )
         apply_smoothquant(model, self._calib(), prepare_inputs=lambda x: x, alpha=0.5)
         after = collect_channel_absmax(model, ln_modules, self._calib(), prepare_inputs=lambda x: x)
         ratio_before = max(v.max() / np.median(v) for v in before.values())
@@ -186,7 +190,9 @@ class TestMixedFormats:
 
     def test_assign_mixed_formats_with_stats(self):
         stats = {
-            "fc_outlier": np.concatenate([np.full(4, 300.0), np.random.default_rng(0).normal(0, 1, 996)]),
+            "fc_outlier": np.concatenate(
+                [np.full(4, 300.0), np.random.default_rng(0).normal(0, 1, 996)]
+            ),
             "fc_smooth": np.random.default_rng(1).normal(0, 1, 1000),
         }
         recipe = assign_mixed_formats(standard_recipe("E4M3"), activation_stats=stats)
@@ -223,11 +229,7 @@ class TestAutoTuner:
             fp32_metric=bert_bundle.fp32_metric,
             relative_loss_target=-1.0,
         )
-        candidates = [
-            name
-            for name, _ in bert_bundle.model.named_modules()
-            if name.endswith("fc1")
-        ]
+        candidates = [name for name, _ in bert_bundle.model.named_modules() if name.endswith("fc1")]
         result = tuner.tune(
             bert_bundle.model,
             [standard_recipe("E5M2")],

@@ -128,15 +128,11 @@ class TestModelCheckpointRoundTrip:
         assert set(saved_packed) == set(loaded_packed)
         for name, qt in saved_packed.items():
             assert np.array_equal(qt.codes, loaded_packed[name].codes), name
-            assert np.array_equal(
-                np.asarray(qt.scale), np.asarray(loaded_packed[name].scale)
-            ), name
+            assert np.array_equal(np.asarray(qt.scale), np.asarray(loaded_packed[name].scale)), name
         assert np.array_equal(loaded(probe).data, expected)
 
     def test_loaded_model_is_restore_free_and_packed_resident(self, tmp_path):
-        result = quantize_model(
-            _build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        )
+        result = quantize_model(_build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
         path = str(tmp_path / "model.rpq")
         save_quantized(result.model, path)
         loaded = load_quantized(path, _build_model)
@@ -148,9 +144,7 @@ class TestModelCheckpointRoundTrip:
                     module.restore()
 
     def test_load_with_streaming_mode(self, tmp_path):
-        result = quantize_model(
-            _build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        )
+        result = quantize_model(_build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
         probe = _probe()
         expected = result.model(probe).data
         path = str(tmp_path / "model.rpq")
@@ -174,9 +168,7 @@ class TestModelCheckpointRoundTrip:
 
     def test_unquantized_params_travel(self, tmp_path):
         """Biases and any unquantized float params must round trip exactly."""
-        result = quantize_model(
-            _build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        )
+        result = quantize_model(_build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
         path = str(tmp_path / "model.rpq")
         save_quantized(result.model, path)
         loaded = load_quantized(path, _build_model)
@@ -186,9 +178,7 @@ class TestModelCheckpointRoundTrip:
 
     def test_checkpoint_never_stores_dense_weights(self, tmp_path):
         """The container must not contain a float32 copy of any packed weight."""
-        result = quantize_model(
-            _build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        )
+        result = quantize_model(_build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
         path = str(tmp_path / "model.rpq")
         save_quantized(result.model, path)
         arrays, _ = read_container(path)
@@ -204,9 +194,7 @@ class TestModelCheckpointRoundTrip:
 
 class TestCheckpointErrorPaths:
     def _saved(self, tmp_path):
-        result = quantize_model(
-            _build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC)
-        )
+        result = quantize_model(_build_model(), standard_recipe("E4M3", approach=Approach.DYNAMIC))
         path = str(tmp_path / "model.rpq")
         save_quantized(result.model, path)
         return path

@@ -237,13 +237,8 @@ class TestSharedViews:
         path = self._save(tmp_path)
         clear_mapping_cache()
         try:
-            replicas = [
-                load_quantized(path, _mlp, mmap=True, share_views=True) for _ in range(3)
-            ]
-            bases = {
-                id(_root_base(_wrappers(replica)[0].weight_q.codes))
-                for replica in replicas
-            }
+            replicas = [load_quantized(path, _mlp, mmap=True, share_views=True) for _ in range(3)]
+            bases = {id(_root_base(_wrappers(replica)[0].weight_q.codes)) for replica in replicas}
             assert len(bases) == 1
             # the fleet maps the checkpoint bytes exactly once
             one = resident_report(replicas[0])

@@ -92,9 +92,7 @@ class TestPaddingAndGrouping:
     def test_variable_length_sequences_padded_and_sliced(self):
         model = _mlp()
         rng = np.random.default_rng(5)
-        seqs = [
-            rng.normal(0, 1, (length, 16)).astype(np.float32) for length in (3, 5, 2, 5)
-        ]
+        seqs = [rng.normal(0, 1, (length, 16)).astype(np.float32) for length in (3, 5, 2, 5)]
         with no_grad():
             expected = [model(Tensor(seq[None])).data[0] for seq in seqs]
         with ServingEngine(model, max_batch_size=4, max_wait_ms=100, pad_value=0.0) as engine:
