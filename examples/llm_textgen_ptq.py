@@ -5,6 +5,10 @@ grammar) with each data format, generates continuations with beam search, and
 reports repetition / diversity / grammaticality metrics — the quantitative
 version of the paper's qualitative Bloom samples.
 
+All prompts are generated through the serving engine's token-level generation
+tier (``engine.generate(prompt, GenerationRequest(...))``), so their decode
+steps co-batch each tick instead of running one prompt at a time.
+
 Run with:  python examples/llm_textgen_ptq.py
 """
 
@@ -12,6 +16,7 @@ from repro.evaluation.reporting import format_table
 from repro.evaluation.textgen import evaluate_generation_quality
 from repro.models.registry import build_task
 from repro.quantization import Approach, int8_recipe, quantize_model, standard_recipe
+from repro.serving import GenerationRequest, ServingEngine
 
 
 def main() -> None:
@@ -39,10 +44,14 @@ def main() -> None:
                 calibration_data=bundle.calib_data,
                 prepare_inputs=bundle.prepare_inputs,
             ).model
-        quality = evaluate_generation_quality(
-            model, prompts, transition_probs=grammar, max_new_tokens=24, beam_size=4
-        )
-        sample = model.generate(prompts[0], max_new_tokens=16, beam_size=4)
+        with ServingEngine(model, plan_cache=False) as engine:
+            quality = evaluate_generation_quality(
+                model, prompts, transition_probs=grammar, max_new_tokens=24, beam_size=4,
+                engine=engine,
+            )
+            sample = engine.generate(
+                prompts[0], GenerationRequest(max_new_tokens=16, beam_size=4)
+            ).result()
         rows.append(
             {
                 "configuration": label,

@@ -25,7 +25,7 @@ from repro.quantization import (
     standard_recipe,
 )
 from repro.serialization import load_quantized, save_quantized
-from repro.serving import ServingEngine
+from repro.serving import ServingEngine, SubmitOptions
 
 
 def main() -> None:
@@ -86,7 +86,7 @@ def main() -> None:
         with ServingEngine(served, max_batch_size=8, max_wait_ms=5.0) as engine:
             futures = []
             for sample in inputs:
-                futures.append(engine.submit(sample, deadline_ms=500.0))
+                futures.append(engine.submit(sample, SubmitOptions(deadline_ms=500.0)))
                 time.sleep(0.001)  # staggered arrivals, ~1ms apart
             outputs = [future.result(timeout=30.0) for future in futures]
             engine_stats = engine.stats

@@ -83,17 +83,36 @@ def evaluate_generation_quality(
     max_new_tokens: int = 32,
     beam_size: int = 4,
     rng: RngLike = None,
+    engine=None,
 ) -> GenerationQuality:
     """Generate continuations for each prompt and aggregate quality metrics.
 
     ``prompts`` is an (N, T) integer array; ``transition_probs`` is the ground
     truth grammar from :func:`repro.data.synthetic.make_language_modeling`
     (optional — the grammar likelihood is reported as NaN without it).
+
+    Pass a running :class:`~repro.serving.engine.ServingEngine` as ``engine``
+    to submit every prompt up front and let its token-level generation tier
+    co-batch the decode steps across prompts (one
+    :class:`~repro.serving.api.GenerationRequest` per prompt) instead of
+    generating serially through ``model.generate``.
     """
     del rng  # generation is deterministic (greedy / beam search)
+    prompts = np.asarray(prompts, dtype=np.int64)
+    if engine is not None:
+        # local import: evaluation stays importable without the serving layer
+        from repro.serving.api import GenerationRequest
+
+        request = GenerationRequest(max_new_tokens=max_new_tokens, beam_size=beam_size)
+        futures = [engine.generate(prompt, request) for prompt in prompts]
+        sequences = [future.result() for future in futures]
+    else:
+        sequences = [
+            model.generate(prompt, max_new_tokens=max_new_tokens, beam_size=beam_size)
+            for prompt in prompts
+        ]
     reps, dist2, logliks = [], [], []
-    for prompt in np.asarray(prompts, dtype=np.int64):
-        sequence = model.generate(prompt, max_new_tokens=max_new_tokens, beam_size=beam_size)
+    for prompt, sequence in zip(prompts, sequences):
         continuation = sequence[len(prompt) :]
         reps.append(repetition_rate(continuation))
         dist2.append(distinct_n(continuation, 2))

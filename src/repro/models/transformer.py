@@ -21,9 +21,92 @@ from repro.utils.seeding import RngLike, seeded_rng
 __all__ = [
     "TransformerEncoderLayer",
     "BertStyleClassifier",
+    "DecodeState",
     "GPTStyleLM",
     "ViTStyleClassifier",
+    "coerce_prompt",
 ]
+
+
+def _log_softmax_np(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable log-softmax over a 1D logits vector."""
+    shifted = logits - logits.max()
+    return shifted - np.log(np.sum(np.exp(shifted)))
+
+
+def coerce_prompt(prompt, max_seq_len: int) -> np.ndarray:
+    """Normalise a generation prompt into a 1D int64 token array.
+
+    Accepts a 1D array/sequence of token ids, a 2D single-row array, or a
+    :class:`~repro.autograd.tensor.Tensor` holding either.  Raises a clear
+    error for batched (multi-row) prompts and for prompts longer than
+    ``max_seq_len`` — the model cannot assign valid position ids past its
+    trained sequence length, so silently sliding the window would decode with
+    stale positions.
+    """
+    if isinstance(prompt, Tensor):
+        prompt = prompt.data
+    prompt = np.asarray(prompt)
+    if prompt.ndim == 2 and prompt.shape[0] == 1:
+        prompt = prompt[0]
+    if prompt.ndim != 1:
+        raise ValueError(
+            f"prompt must be a 1D token array (or a single-row 2D array), got shape {prompt.shape}"
+        )
+    if prompt.size == 0:
+        raise ValueError("prompt must contain at least one token")
+    prompt = prompt.astype(np.int64, copy=True)
+    if prompt.size > max_seq_len:
+        raise ValueError(
+            f"prompt of {prompt.size} tokens exceeds max_seq_len={max_seq_len}; "
+            "truncate the prompt explicitly instead of relying on a silent window slide"
+        )
+    return prompt
+
+
+class DecodeState:
+    """Per-layer KV caches for incremental decoding of a batch of row slots.
+
+    One :class:`~repro.nn.attention.KVCache` per transformer layer; rows are
+    independent sequences (or beams), addressed by index so a serving pool can
+    multiplex many requests over one state (see
+    :mod:`repro.serving.generation`).
+    """
+
+    def __init__(self, caches, max_seq_len: int, storage: str = "float32") -> None:
+        self.caches = list(caches)
+        self.max_seq_len = int(max_seq_len)
+        self.storage = storage
+
+    @property
+    def rows(self) -> int:
+        return self.caches[0].rows
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Valid cached tokens per row (identical across layers)."""
+        return self.caches[0].lengths
+
+    def copy_rows(self, src, dst) -> None:
+        for cache in self.caches:
+            cache.copy_rows(src, dst)
+
+    def permute_rows(self, rows, parents) -> None:
+        for cache in self.caches:
+            cache.permute_rows(rows, parents)
+
+    def reset_rows(self, rows=None) -> None:
+        for cache in self.caches:
+            cache.reset_rows(rows)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(cache.nbytes for cache in self.caches)
+
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes of cache storage one row slot costs (full capacity)."""
+        return self.nbytes // max(1, self.rows)
 
 
 class TransformerEncoderLayer(nn.Module):
@@ -52,8 +135,21 @@ class TransformerEncoderLayer(nn.Module):
         self.fc2 = nn.Linear(ffn_dim, embed_dim, rng=rng)
         self.ffn_add = nn.Add()
 
-    def forward(self, x: Tensor, causal: bool = False) -> Tensor:
-        x = self.attn_add(x, self.attention(self.ln1(x), causal=causal))
+    def forward(
+        self,
+        x: Tensor,
+        causal: bool = False,
+        cache=None,
+        rows=None,
+        new_lens=None,
+    ) -> Tensor:
+        if cache is None:
+            attended = self.attention(self.ln1(x), causal=causal)
+        else:
+            attended = self.attention(
+                self.ln1(x), causal=causal, cache=cache, rows=rows, new_lens=new_lens
+            )
+        x = self.attn_add(x, attended)
         x = self.ffn_add(x, self.fc2(self.act(self.fc1(self.ln2(x)))))
         return x
 
@@ -157,43 +253,216 @@ class GPTStyleLM(nn.Module):
             x = layer(x, causal=True)
         return self.lm_head(self.final_ln(x))
 
+    # ------------------------------------------------------------------
+    # incremental decode
+    # ------------------------------------------------------------------
+    def new_decode_state(
+        self,
+        rows: int = 1,
+        storage: str = "float32",
+        capacity: Optional[int] = None,
+    ) -> DecodeState:
+        """Allocate per-layer KV caches for ``rows`` independently-decoding slots.
+
+        ``storage="float32"`` keeps the cache exact; an FP8 format name
+        (``"E4M3"``, ...) stores packed codes + per-token scales (~4x smaller).
+        """
+        capacity = self.max_seq_len if capacity is None else int(capacity)
+        caches = [
+            nn.KVCache(
+                rows,
+                layer.attention.num_heads,
+                layer.attention.head_dim,
+                capacity,
+                storage=storage,
+            )
+            for layer in self.layers
+        ]
+        return DecodeState(caches, self.max_seq_len, storage=storage)
+
+    def forward_step(
+        self,
+        tokens: np.ndarray,
+        state: DecodeState,
+        rows=None,
+        new_lens=None,
+    ) -> Tensor:
+        """One incremental step: consume new tokens, append K/V, return logits.
+
+        ``tokens`` is ``(B, S)`` — ``S`` new tokens per row, padded; row ``i``
+        owns the first ``new_lens[i]`` (all ``S`` when None).  A prefill is
+        simply a step on empty rows with ``S = prompt length``; a decode step
+        is ``S = 1``.  Position ids continue from each row's cached length, so
+        logits at the last valid position of each row match a full forward
+        over the whole sequence.  Returns ``(B, S, vocab)`` logits; positions
+        at or past a row's ``new_lens`` are padding garbage.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"forward_step expects (rows, new_tokens) ids, got {tokens.shape}")
+        _, s = tokens.shape
+        starts = state.lengths if rows is None else state.lengths[np.asarray(rows, dtype=np.int64)]
+        if new_lens is None:
+            limit = int(starts.max()) + s if starts.size else s
+        else:
+            valid = np.asarray(new_lens, dtype=np.int64)
+            limit = int(np.max(starts + valid)) if starts.size else s
+        if limit > self.max_seq_len:
+            raise RuntimeError(
+                f"decode step would reach {limit} cached tokens, past max_seq_len="
+                f"{self.max_seq_len}; the position embedding has no ids beyond it"
+            )
+        positions = np.minimum(starts[:, None] + np.arange(s)[None, :], self.max_seq_len - 1)
+        x = self.embed_add(self.token_embedding(tokens), self.position_embedding(positions))
+        for index, layer in enumerate(self.layers):
+            x = layer(x, causal=True, cache=state.caches[index], rows=rows, new_lens=new_lens)
+        return self.lm_head(self.final_ln(x))
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
     def generate(
         self,
         prompt: np.ndarray,
         max_new_tokens: int = 32,
         beam_size: int = 1,
         rng: RngLike = None,
+        use_cache: bool = True,
+        kv_cache: str = "float32",
+        eos_token: Optional[int] = None,
     ) -> np.ndarray:
         """Greedy (beam_size=1) or beam-search continuation of a single prompt.
 
-        ``prompt`` is a 1D array of token ids; returns the full sequence
-        including the prompt.  Used by the Table 4 text-generation benchmark.
+        ``prompt`` may be a 1D token array, a single-row 2D array, or a
+        :class:`~repro.autograd.tensor.Tensor` of either; the full sequence
+        including the prompt is returned.  With ``use_cache`` (default) the
+        prompt is prefilled once and each new token costs one single-token
+        step against the per-layer KV cache (``kv_cache="float32"`` exact, or
+        an FP8 format name for a packed quantized cache); without it every
+        step re-runs the full O(T²) forward — kept as the bit-exactness
+        oracle and for continuations that must slide past ``max_seq_len``.
+        ``eos_token`` stops a sequence early after emitting it.
         """
         from repro.autograd.tensor import no_grad
 
-        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        prompt = coerce_prompt(prompt, self.max_seq_len)
+        if prompt.size + max_new_tokens > self.max_seq_len:
+            # the cache cannot slide; preserve the historical sliding-window
+            # behaviour for continuations past the trained sequence length
+            use_cache = False
         with no_grad():
+            if not use_cache:
+                return self._generate_full_recompute(prompt, max_new_tokens, beam_size, eos_token)
             if beam_size <= 1:
-                seq = prompt.copy()
-                for _ in range(max_new_tokens):
-                    window = seq[-self.max_seq_len :]
-                    logits = self.forward(window[None, :]).data[0, -1]
-                    seq = np.append(seq, int(np.argmax(logits)))
-                return seq
-            # beam search
-            beams = [(prompt.copy(), 0.0)]
+                return self._generate_greedy_cached(prompt, max_new_tokens, kv_cache, eos_token)
+            return self._generate_beam_cached(
+                prompt, max_new_tokens, beam_size, kv_cache, eos_token
+            )
+
+    def _generate_full_recompute(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        beam_size: int,
+        eos_token: Optional[int],
+    ) -> np.ndarray:
+        """The pre-cache O(T²) loop (sliding window past max_seq_len)."""
+        if beam_size <= 1:
+            seq = prompt.copy()
             for _ in range(max_new_tokens):
-                candidates = []
-                for seq, score in beams:
-                    window = seq[-self.max_seq_len :]
-                    logits = self.forward(window[None, :]).data[0, -1]
-                    logp = logits - np.log(np.sum(np.exp(logits - logits.max()))) - logits.max()
-                    top = np.argsort(logp)[-beam_size:]
-                    for token in top:
-                        candidates.append((np.append(seq, int(token)), score + float(logp[token])))
-                candidates.sort(key=lambda item: item[1], reverse=True)
-                beams = candidates[:beam_size]
-            return beams[0][0]
+                window = seq[-self.max_seq_len :]
+                logits = self.forward(window[None, :]).data[0, -1]
+                token = int(np.argmax(logits))
+                seq = np.append(seq, token)
+                if eos_token is not None and token == eos_token:
+                    break
+            return seq
+        beams = [(prompt.copy(), 0.0, False)]
+        for _ in range(max_new_tokens):
+            candidates = []
+            for seq, score, done in beams:
+                if done:
+                    candidates.append((seq, score, True))
+                    continue
+                window = seq[-self.max_seq_len :]
+                logits = self.forward(window[None, :]).data[0, -1]
+                logp = logits - np.log(np.sum(np.exp(logits - logits.max()))) - logits.max()
+                top = np.argsort(logp)[-beam_size:]
+                for token in top:
+                    finished = eos_token is not None and int(token) == eos_token
+                    candidates.append(
+                        (np.append(seq, int(token)), score + float(logp[token]), finished)
+                    )
+            candidates.sort(key=lambda item: item[1], reverse=True)
+            beams = candidates[:beam_size]
+            if all(done for _, _, done in beams):
+                break
+        return beams[0][0]
+
+    def _generate_greedy_cached(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        kv_cache: str,
+        eos_token: Optional[int],
+    ) -> np.ndarray:
+        state = self.new_decode_state(1, storage=kv_cache)
+        seq = prompt.copy()
+        logits = self.forward_step(seq[None, :], state).data[0, -1]
+        for _ in range(max_new_tokens):
+            token = int(np.argmax(logits))
+            seq = np.append(seq, token)
+            if eos_token is not None and token == eos_token:
+                break
+            if seq.size >= self.max_seq_len or seq.size - prompt.size >= max_new_tokens:
+                break
+            logits = self.forward_step(np.array([[token]], dtype=np.int64), state).data[0, -1]
+        return seq
+
+    def _generate_beam_cached(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        beam_size: int,
+        kv_cache: str,
+        eos_token: Optional[int],
+    ) -> np.ndarray:
+        state = self.new_decode_state(beam_size, storage=kv_cache)
+        tiled = np.tile(prompt[None, :], (beam_size, 1))
+        logits = self.forward_step(tiled, state).data[:, -1]
+        logp0 = _log_softmax_np(logits[0])
+        seeds = np.argsort(logp0)[-beam_size:]
+        suffixes = [[int(t)] for t in seeds]
+        scores = [float(logp0[t]) for t in seeds]
+        done = [eos_token is not None and int(t) == eos_token for t in seeds]
+        for _ in range(max_new_tokens - 1):
+            if all(done):
+                break
+            last = np.array([[suffix[-1]] for suffix in suffixes], dtype=np.int64)
+            logits = self.forward_step(last, state).data[:, -1]
+            candidates = []  # (score, parent, token-or-None)
+            for b in range(beam_size):
+                if done[b]:
+                    candidates.append((scores[b], b, None))
+                    continue
+                logp = _log_softmax_np(logits[b])
+                for token in np.argsort(logp)[-beam_size:]:
+                    candidates.append((scores[b] + float(logp[token]), b, int(token)))
+            candidates.sort(key=lambda item: item[0], reverse=True)
+            chosen = candidates[:beam_size]
+            parents = [parent for _, parent, _ in chosen]
+            state.permute_rows(np.arange(beam_size), parents)
+            suffixes = [
+                suffixes[parent] + ([] if token is None else [token])
+                for _, parent, token in chosen
+            ]
+            scores = [score for score, _, _ in chosen]
+            done = [
+                token is None or (eos_token is not None and token == eos_token)
+                for _, _, token in chosen
+            ]
+        best = int(np.argmax(scores))
+        return np.concatenate([prompt, np.asarray(suffixes[best], dtype=np.int64)])
 
 
 class ViTStyleClassifier(nn.Module):

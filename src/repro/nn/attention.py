@@ -4,11 +4,26 @@
 (QK^T and probs·V) as explicit :class:`BatchMatMul` submodules so that the
 *extended* quantization scheme can target them (the paper's "BMM, MM" operator
 coverage in Figure 9).
+
+Incremental decode
+------------------
+:class:`KVCache` gives one attention layer a per-row key/value cache so that
+autoregressive decoding consumes **one new token per step** instead of
+re-running the full O(T²) prefix.  ``forward(..., cache=...)`` appends the new
+tokens' K/V to the cache and attends over the whole cached prefix; rows of the
+cache belong to independent sequences (or beams), so a serving tier can batch
+decode steps of many in-flight requests into one forward call
+(:mod:`repro.serving.generation`).
+
+The cache stores K/V either as float32 (bit-faithful to full recompute) or as
+FP8 packed codes + per-(row, head, token) scales via the same fused kernels
+that back :class:`~repro.fp8.quantize.QuantizedTensor` — one byte per element
+at rest, decoded on attention.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +33,190 @@ from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 from repro.utils.seeding import RngLike, seeded_rng
 
-__all__ = ["BatchMatMul", "MultiHeadSelfAttention"]
+__all__ = ["BatchMatMul", "KVCache", "MultiHeadSelfAttention"]
+
+
+class KVCache:
+    """Per-layer key/value cache for a batch of independently-decoding rows.
+
+    Parameters
+    ----------
+    rows:
+        Number of row slots (independent sequences or beams).
+    num_heads, head_dim:
+        Attention geometry of the owning layer.
+    capacity:
+        Maximum number of cached tokens per row (typically the model's
+        ``max_seq_len``).  Appending past it raises.
+    storage:
+        ``"float32"`` for exact storage, or an FP8 format name (``"E4M3"``,
+        ``"E5M2"``, ...) to keep K/V as packed uint8 codes plus one scale per
+        (row, head, token) — quantized through the fused
+        :func:`repro.fp8.kernels.fp8_quantize_channelwise` kernel, so a cached
+        token costs ``head_dim + 8`` bytes per head instead of
+        ``4 * head_dim``.
+
+    Rows are addressed explicitly: every mutator takes a ``rows`` index array
+    so a pool can slice one big cache across many requests.  ``lengths`` holds
+    the number of valid cached tokens per row; storage beyond a row's length
+    is stale and masked out by the attention math.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        num_heads: int,
+        head_dim: int,
+        capacity: int,
+        storage: str = "float32",
+    ) -> None:
+        if rows < 1 or num_heads < 1 or head_dim < 1 or capacity < 1:
+            raise ValueError("rows, num_heads, head_dim and capacity must all be >= 1")
+        self.rows = int(rows)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.capacity = int(capacity)
+        self.lengths = np.zeros(self.rows, dtype=np.int64)
+        shape = (self.rows, self.num_heads, self.capacity, self.head_dim)
+        if isinstance(storage, str) and storage.lower() == "float32":
+            self.fmt = None
+            self.storage = "float32"
+            self._k = np.zeros(shape, dtype=np.float32)
+            self._v = np.zeros(shape, dtype=np.float32)
+        else:
+            # lazy import: the float path keeps repro.nn free of the fp8 package
+            from repro.fp8.formats import get_format
+
+            self.fmt = storage if not isinstance(storage, str) else get_format(storage)
+            self.storage = self.fmt.name
+            scale_shape = shape[:3] + (1,)
+            self._k_codes = np.zeros(shape, dtype=np.uint8)
+            self._v_codes = np.zeros(shape, dtype=np.uint8)
+            # scales default to 1 so stale storage always decodes to finite
+            # values (masked to zero weight, but NaN/inf would still poison
+            # the probs @ V product via 0 * inf)
+            self._k_scale = np.ones(scale_shape, dtype=np.float64)
+            self._v_scale = np.ones(scale_shape, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _resolve_rows(self, rows) -> np.ndarray:
+        if rows is None:
+            return np.arange(self.rows)
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.rows):
+            raise IndexError(f"cache row index out of range for {self.rows} rows")
+        return rows
+
+    def append(
+        self,
+        k: np.ndarray,
+        v: np.ndarray,
+        rows=None,
+        new_lens: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Append up to ``S`` new tokens' K/V per row; returns pre-append lengths.
+
+        ``k``/``v`` are ``(B, H, S, D)`` float32 blocks; row ``i`` takes its
+        first ``new_lens[i]`` tokens (all ``S`` when ``new_lens`` is None), so
+        prefills of different lengths can ride one padded batch.
+        """
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        rows = self._resolve_rows(rows)
+        if k.ndim != 4 or k.shape[0] != rows.size:
+            raise ValueError(f"expected k of shape ({rows.size}, H, S, D), got {k.shape}")
+        if new_lens is None:
+            new_lens = np.full(rows.size, k.shape[2], dtype=np.int64)
+        else:
+            new_lens = np.asarray(new_lens, dtype=np.int64).reshape(-1)
+        starts = self.lengths[rows].copy()
+        if np.any(starts + new_lens > self.capacity):
+            worst = int(np.max(starts + new_lens))
+            raise RuntimeError(
+                f"KV cache overflow: appending would need {worst} cached tokens "
+                f"but capacity is {self.capacity}"
+            )
+        for i, row in enumerate(rows):
+            n = int(new_lens[i])
+            if n == 0:
+                continue
+            start = int(starts[i])
+            if self.fmt is None:
+                self._k[row, :, start : start + n] = k[i, :, :n]
+                self._v[row, :, start : start + n] = v[i, :, :n]
+            else:
+                from repro.fp8.kernels import fp8_quantize_channelwise
+
+                k_codes, k_scale = fp8_quantize_channelwise(k[i, :, :n], self.fmt, axis=(0, 1))
+                v_codes, v_scale = fp8_quantize_channelwise(v[i, :, :n], self.fmt, axis=(0, 1))
+                self._k_codes[row, :, start : start + n] = k_codes
+                self._v_codes[row, :, start : start + n] = v_codes
+                self._k_scale[row, :, start : start + n] = k_scale
+                self._v_scale[row, :, start : start + n] = v_scale
+        self.lengths[rows] = starts + new_lens
+        return starts
+
+    def dense(self, rows=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise ``(K, V, lengths)`` for ``rows``, trimmed to their max length.
+
+        Returns float32 ``(B, H, T, D)`` arrays where ``T`` is the longest
+        selected row; shorter rows carry stale-but-finite storage beyond their
+        own length, which callers mask out.
+        """
+        rows = self._resolve_rows(rows)
+        lens = self.lengths[rows].copy()
+        t = int(lens.max()) if lens.size else 0
+        if self.fmt is None:
+            return self._k[rows, :, :t], self._v[rows, :, :t], lens
+        from repro.fp8.kernels import fp8_dequantize_channelwise
+
+        k = fp8_dequantize_channelwise(
+            self._k_codes[rows, :, :t], self.fmt, self._k_scale[rows, :, :t]
+        )
+        v = fp8_dequantize_channelwise(
+            self._v_codes[rows, :, :t], self.fmt, self._v_scale[rows, :, :t]
+        )
+        return k, v, lens
+
+    # ------------------------------------------------------------------
+    # row management (pooling / beam search)
+    # ------------------------------------------------------------------
+    def _arrays(self) -> Sequence[np.ndarray]:
+        if self.fmt is None:
+            return (self._k, self._v)
+        return (self._k_codes, self._v_codes, self._k_scale, self._v_scale)
+
+    def copy_rows(self, src, dst) -> None:
+        """Copy whole rows ``src`` onto rows ``dst`` (beam expansion)."""
+        src = self._resolve_rows(src)
+        dst = self._resolve_rows(dst)
+        for array in self._arrays():
+            array[dst] = array[src]
+        self.lengths[dst] = self.lengths[src]
+
+    def permute_rows(self, rows, parents) -> None:
+        """Reassign ``rows[i] <- rows[parents[i]]`` (beam reordering).
+
+        The gather is materialised before the scatter, so overlapping
+        source/destination rows are safe.
+        """
+        rows = self._resolve_rows(rows)
+        parents = np.asarray(parents, dtype=np.int64).reshape(-1)
+        src = rows[parents]
+        for array in self._arrays():
+            array[rows] = array[src]
+        self.lengths[rows] = self.lengths[src]
+
+    def reset_rows(self, rows=None) -> None:
+        """Mark rows empty (their storage is reused on the next append)."""
+        self.lengths[self._resolve_rows(rows)] = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the cache storage (all rows, full capacity)."""
+        return int(sum(array.nbytes for array in self._arrays()) + self.lengths.nbytes)
 
 
 class BatchMatMul(Module):
@@ -87,7 +285,16 @@ class MultiHeadSelfAttention(Module):
             return None
         return mask
 
-    def forward(self, x: Tensor, causal: bool = False) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        causal: bool = False,
+        cache: Optional[KVCache] = None,
+        rows=None,
+        new_lens: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        if cache is not None:
+            return self._forward_cached(x, cache, rows=rows, new_lens=new_lens)
         b, t, _ = x.shape
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(x))
@@ -100,6 +307,46 @@ class MultiHeadSelfAttention(Module):
         probs = F.softmax(scores, axis=-1)
         probs = self.dropout(probs)
         context = self.value_matmul(probs, v)
+        return self.out_proj(self._merge_heads(context))
+
+    def _forward_cached(
+        self,
+        x: Tensor,
+        cache: KVCache,
+        rows=None,
+        new_lens: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Incremental causal attention: append the new tokens, attend over the cache.
+
+        ``x`` holds ``S`` new tokens per row (padded; row ``i`` owns the first
+        ``new_lens[i]``).  The step is always causal: new token ``p`` of row
+        ``i`` attends to every cached token plus new tokens ``<= p``.  Outputs
+        at padded positions are garbage and must be discarded by the caller.
+        """
+        if self.local_window is not None:
+            raise RuntimeError("KV-cache decoding does not support local_window attention")
+        b, s, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+
+        starts = cache.append(k.data, v.data, rows=rows, new_lens=new_lens)
+        keys, values, totals = cache.dense(rows)
+        t = keys.shape[2]
+
+        scores = self.attn_matmul(q, Tensor(keys).transpose(0, 1, 3, 2)) * (
+            1.0 / np.sqrt(self.head_dim)
+        )
+        # additive mask (B, 1, S, T): new token p (absolute position starts+p)
+        # sees cached positions j <= starts+p that are valid for its own row
+        j = np.arange(t).reshape(1, 1, t)
+        positions = starts[:, None] + np.arange(s)[None, :]
+        allowed = (j <= positions[:, :, None]) & (j < totals[:, None, None])
+        mask = np.where(allowed, np.float32(0.0), np.float32(-1e9))
+        scores = scores + Tensor(mask.reshape(b, 1, s, t).astype(np.float32))
+        probs = F.softmax(scores, axis=-1)
+        probs = self.dropout(probs)
+        context = self.value_matmul(probs, Tensor(values))
         return self.out_proj(self._merge_heads(context))
 
     def extra_repr(self) -> str:

@@ -8,9 +8,21 @@ streaming serving modes:
   one forward call (stack, or pad along axis 0), newly-arrived requests join
   the next forward of an in-flight compatibility group instead of waiting
   for a drain, and per-request priorities/deadlines order admission;
+* :class:`~repro.serving.api.SubmitOptions` /
+  :class:`~repro.serving.api.GenerationRequest` — the typed request surface:
+  ``engine.submit(x, SubmitOptions(...))`` for one-shot forwards,
+  ``engine.generate(prompt, GenerationRequest(...))`` for autoregressive
+  generation (future, or token stream with ``stream=True``); the old
+  ``priority=``/``deadline_ms=`` kwargs remain as warn-once shims;
 * :class:`~repro.serving.scheduler.ContinuousScheduler` — the engine-agnostic
   per-compatibility-bucket admission core (deadline-aware windows,
   :class:`~repro.serving.scheduler.DeadlineExceeded` on queue-time misses);
+* :class:`~repro.serving.scheduler.TokenScheduler` +
+  :mod:`repro.serving.generation` — the token-level generation tier: one
+  decode-state pool multiplexes per-request KV caches (float32 or FP8
+  packed), a single driver thread co-batches prefills of new arrivals with
+  single-token decode steps of every in-flight sequence, and a slot budget
+  with strict-urgency preemption bounds decode-state memory;
 * :class:`~repro.serving.prefetch.BlockPrefetcher` — double-buffered block
   decode for one streaming ``QuantizedLinear``: a background thread decodes
   block *k+1* while the main thread runs block *k*'s matmul
@@ -26,20 +38,35 @@ Pair with ``load_quantized(..., mmap=True)`` for the cold-start half;
 views, serving mode, prefetch and the engine in one call.
 """
 
+from repro.serving.api import GenerationRequest, SubmitOptions
 from repro.serving.engine import ServingEngine
+from repro.serving.generation import (
+    DecodeStatePool,
+    GenerationDriver,
+    GenerationSession,
+    GenerationStream,
+)
 from repro.serving.prefetch import BlockPrefetcher, PipelinePrefetcher
 from repro.serving.scheduler import (
     ContinuousScheduler,
     DeadlineExceeded,
     Request,
+    TokenScheduler,
     compat_key,
 )
 
 __all__ = [
     "ServingEngine",
+    "SubmitOptions",
+    "GenerationRequest",
+    "GenerationStream",
+    "GenerationSession",
+    "GenerationDriver",
+    "DecodeStatePool",
     "BlockPrefetcher",
     "PipelinePrefetcher",
     "ContinuousScheduler",
+    "TokenScheduler",
     "DeadlineExceeded",
     "Request",
     "compat_key",

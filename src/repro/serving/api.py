@@ -1,0 +1,145 @@
+"""Typed request API for the serving engine.
+
+PR 5 grew the engine's entry points a loose kwarg at a time
+(``submit(sample, priority=, deadline_ms=)``); generation serving would have
+doubled that surface again.  This module replaces the kwarg sprawl with two
+small request dataclasses:
+
+* :class:`SubmitOptions` — scheduling attributes of a one-shot forward
+  (priority, queue-time deadline).  ``engine.submit(x, SubmitOptions(...))``.
+* :class:`GenerationRequest` — everything describing an autoregressive
+  generation: decode budget (``max_new_tokens``), search (``beam_size``),
+  termination (``eos_token``), delivery (``stream``), KV-cache storage
+  (``kv_cache``: ``"float32"`` or an FP8 format name), plus the same
+  scheduling attributes.  ``engine.generate(prompt, GenerationRequest(...))``.
+
+The legacy kwargs keep working through :func:`resolve_submit_options`, which
+folds them into a :class:`SubmitOptions` and emits one
+:class:`DeprecationWarning` per entry point — existing call sites run
+unmodified while new code gets a single typed surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["SubmitOptions", "GenerationRequest", "resolve_submit_options"]
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Scheduling options for one submitted request.
+
+    Parameters
+    ----------
+    priority:
+        Higher values are served first.
+    deadline_ms:
+        Queue-time budget: the admission window closes early to start the
+        forward before the deadline, and a request still queued past it fails
+        with :class:`~repro.serving.scheduler.DeadlineExceeded`.
+    """
+
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+
+    def validated(self) -> "SubmitOptions":
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms!r}")
+        return self
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """Everything describing one autoregressive generation request.
+
+    Parameters
+    ----------
+    max_new_tokens:
+        Decode budget; generation also stops at the model's ``max_seq_len``.
+    beam_size:
+        1 for greedy decoding, larger for beam search.
+    stream:
+        Return a token iterator instead of a future (greedy only).
+    eos_token:
+        Stop a sequence early after emitting this token id.
+    kv_cache:
+        Decode-state storage: ``"float32"`` (exact) or an FP8 format name
+        (``"E4M3"``, ``"E5M2"``, ...) for a packed quantized cache.
+    priority / deadline_ms:
+        Scheduling attributes; the deadline bounds queue time until the
+        prefill is admitted (a running generation is never killed by it).
+    """
+
+    max_new_tokens: int = 32
+    beam_size: int = 1
+    stream: bool = False
+    eos_token: Optional[int] = None
+    kv_cache: str = "float32"
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+
+    def validated(self) -> "GenerationRequest":
+        if int(self.max_new_tokens) < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {self.max_new_tokens!r}")
+        if int(self.beam_size) < 1:
+            raise ValueError(f"beam_size must be >= 1, got {self.beam_size!r}")
+        if self.stream and int(self.beam_size) > 1:
+            raise ValueError("stream=True requires beam_size=1 (beam tokens are not final)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms!r}")
+        if not isinstance(self.kv_cache, str) or not self.kv_cache:
+            raise ValueError(
+                f"kv_cache must be 'float32' or an FP8 format name, got {self.kv_cache!r}"
+            )
+        return self
+
+
+# one DeprecationWarning per engine entry point, not one per call
+_WARNED: set = set()
+_WARNED_LOCK = threading.Lock()
+
+
+def _warn_deprecated(method: str) -> None:
+    with _WARNED_LOCK:
+        if method in _WARNED:
+            return
+        _WARNED.add(method)
+    warnings.warn(
+        f"ServingEngine.{method}(priority=..., deadline_ms=...) kwargs are deprecated; "
+        f"pass SubmitOptions(priority=..., deadline_ms=...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_submit_options(
+    options: Optional[SubmitOptions],
+    priority: Optional[int],
+    deadline_ms: Optional[float],
+    method: str,
+) -> SubmitOptions:
+    """Fold legacy ``priority``/``deadline_ms`` kwargs into a :class:`SubmitOptions`.
+
+    Passing both the typed object and legacy kwargs is ambiguous and raises;
+    legacy kwargs alone warn once per entry point and keep working.
+    """
+    if priority is None and deadline_ms is None:
+        resolved = options if options is not None else SubmitOptions()
+        if not isinstance(resolved, SubmitOptions):
+            raise TypeError(f"options must be a SubmitOptions, got {type(resolved).__name__}")
+        return resolved.validated()
+    if options is not None:
+        raise TypeError(
+            "pass either SubmitOptions or the legacy priority/deadline_ms kwargs, not both"
+        )
+    _warn_deprecated(method)
+    resolved = SubmitOptions()
+    if priority is not None:
+        resolved = replace(resolved, priority=int(priority))
+    if deadline_ms is not None:
+        resolved = replace(resolved, deadline_ms=float(deadline_ms))
+    return resolved.validated()

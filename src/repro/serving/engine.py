@@ -78,6 +78,8 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
+from repro.serving.api import GenerationRequest, SubmitOptions, resolve_submit_options
+from repro.serving.generation import GenerationDriver, GenerationStream
 from repro.serving.scheduler import ContinuousScheduler, Request, compat_key
 
 __all__ = ["ServingEngine"]
@@ -133,6 +135,21 @@ class ServingEngine:
         untraceable models, so ``"auto"`` is always safe.  ``False`` disables
         plan dispatch entirely.  Aggregated cache counters appear in
         :attr:`stats` under ``"plan_cache"``.
+    decode_slots:
+        KV-cache row budget of the generation tier (see :meth:`generate`):
+        how many beams may decode concurrently before new arrivals queue or
+        preempt.  The decode state is allocated lazily on the first
+        ``generate`` call, so non-generating engines pay nothing.
+    decode_memory_budget:
+        Optional cap in **bytes** on per-storage decode-state memory; when
+        given, ``decode_slots`` is lowered to ``budget // row_nbytes`` (the
+        cost of one float32 cache row at full capacity).
+    generation_admission:
+        ``"continuous"`` (default) co-batches prefills of new generation
+        requests with decode steps of in-flight ones each tick;
+        ``"drain"`` admits new requests only once the running set empties —
+        the lock-step baseline ``benchmarks/bench_generation.py`` measures
+        against.
     """
 
     def __init__(
@@ -144,6 +161,9 @@ class ServingEngine:
         slice_padded_outputs: bool = True,
         workers: Optional[int] = None,
         plan_cache: Union[str, bool] = "auto",
+        decode_slots: int = 16,
+        decode_memory_budget: Optional[int] = None,
+        generation_admission: str = "continuous",
     ) -> None:
         if isinstance(model, Module):
             replicas = [model]
@@ -169,6 +189,12 @@ class ServingEngine:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms!r}")
         if plan_cache not in ("auto", True, False):
             raise ValueError(f"plan_cache must be 'auto', True or False, got {plan_cache!r}")
+        if int(decode_slots) < 1:
+            raise ValueError(f"decode_slots must be >= 1, got {decode_slots!r}")
+        if generation_admission not in ("continuous", "drain"):
+            raise ValueError(
+                f"generation_admission must be 'continuous' or 'drain', got {generation_admission!r}"
+            )
         self.model = replicas[0]
         self.replicas: List[Module] = replicas
         self.workers = workers
@@ -187,6 +213,10 @@ class ServingEngine:
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.pad_value = pad_value
         self.slice_padded_outputs = bool(slice_padded_outputs)
+        self.decode_slots = int(decode_slots)
+        self.decode_memory_budget = decode_memory_budget
+        self.generation_admission = generation_admission
+        self._generation_driver: Optional[GenerationDriver] = None
         self._closed = False
         self._lock = threading.Lock()
         self._order = itertools.count()
@@ -270,10 +300,13 @@ class ServingEngine:
         """
         with self._lock:
             self._closed = True
+            driver = self._generation_driver
         # admission stops under the same lock submit() uses, so nothing can
         # land in the scheduler after close(); workers drain what is queued
         self._scheduler.close()
         deadline = None if timeout is None else time.monotonic() + timeout
+        if driver is not None:
+            driver.close(timeout=1e9 if timeout is None else timeout)
         for thread in self._threads:
             remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
             thread.join(timeout=remaining)
@@ -295,31 +328,35 @@ class ServingEngine:
     def submit(
         self,
         sample,
-        priority: int = 0,
+        options: Optional[SubmitOptions] = None,
+        *,
+        priority: Optional[int] = None,
         deadline_ms: Optional[float] = None,
     ) -> Future:
         """Enqueue one sample; the Future resolves to its output array.
 
+        ``options`` is a :class:`~repro.serving.api.SubmitOptions`:
         ``priority`` orders scheduling (higher served first); ``deadline_ms``
         is a queue-time budget — the bucket closes early to start the forward
         before the deadline, and a request still queued past it fails with
-        :class:`~repro.serving.scheduler.DeadlineExceeded`.
+        :class:`~repro.serving.scheduler.DeadlineExceeded`.  The bare
+        ``priority=``/``deadline_ms=`` kwargs are deprecated shims (a zero or
+        negative deadline budget can never be met, so it is rejected loudly
+        instead of guaranteeing a DeadlineExceeded).
         """
+        options = resolve_submit_options(options, priority, deadline_ms, "submit")
         if isinstance(sample, Tensor):
             sample = sample.data
         sample = np.asarray(sample)
-        if deadline_ms is not None and deadline_ms <= 0:
-            # a zero budget can never be met (the clock has moved by the
-            # time any worker could pop the request): reject it loudly
-            # instead of guaranteeing a DeadlineExceeded
-            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms!r}")
         future: Future = Future()
         now = time.monotonic()
         request = Request(
             sample,
             future,
-            priority=priority,
-            deadline=None if deadline_ms is None else now + float(deadline_ms) / 1000.0,
+            priority=options.priority,
+            deadline=(
+                None if options.deadline_ms is None else now + float(options.deadline_ms) / 1000.0
+            ),
             submitted=now,
             key=compat_key(sample),
             order=next(self._order),
@@ -338,20 +375,23 @@ class ServingEngine:
     def serve(
         self,
         sample,
+        options: Optional[SubmitOptions] = None,
         timeout: Optional[float] = None,
-        priority: int = 0,
+        *,
+        priority: Optional[int] = None,
         deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Blocking single-request convenience: submit + wait."""
-        return self.submit(sample, priority=priority, deadline_ms=deadline_ms).result(
-            timeout=timeout
-        )
+        options = resolve_submit_options(options, priority, deadline_ms, "serve")
+        return self.submit(sample, options).result(timeout=timeout)
 
     def serve_batch(
         self,
         samples: Sequence,
+        options: Optional[SubmitOptions] = None,
         timeout: Optional[float] = None,
-        priority: int = 0,
+        *,
+        priority: Optional[int] = None,
         deadline_ms: Optional[float] = None,
     ) -> List[np.ndarray]:
         """Submit a burst of samples and wait for all results (input order).
@@ -361,15 +401,66 @@ class ServingEngine:
         same clock as result *k+1*, so the call never blocks longer than
         ``timeout`` in total (it used to wait up to ``timeout × len(samples)``).
         """
-        futures = [
-            self.submit(sample, priority=priority, deadline_ms=deadline_ms) for sample in samples
-        ]
+        options = resolve_submit_options(options, priority, deadline_ms, "serve_batch")
+        futures = [self.submit(sample, options) for sample in samples]
         deadline = None if timeout is None else time.monotonic() + float(timeout)
         results = []
         for future in futures:
             remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
             results.append(future.result(timeout=remaining))
         return results
+
+    def generate(
+        self,
+        prompt,
+        request: Optional[GenerationRequest] = None,
+    ) -> Union[Future, GenerationStream]:
+        """Queue an autoregressive generation; decode steps batch across requests.
+
+        ``prompt`` is a 1D token array (or single-row 2D array / Tensor);
+        ``request`` a :class:`~repro.serving.api.GenerationRequest`.  Returns
+        a :class:`~concurrent.futures.Future` resolving to the full sequence
+        (prompt + continuation, best beam), or a
+        :class:`~repro.serving.generation.GenerationStream` token iterator
+        when ``request.stream``.  Generation runs on the engine's primary
+        model through its per-request KV cache
+        (``request.kv_cache="float32"`` exact, or an FP8 format name for a
+        packed quantized cache) and stops per sequence on EOS,
+        ``max_new_tokens`` or the model's ``max_seq_len``.  In-flight decode
+        steps and new prefills co-batch each scheduler tick; when more than
+        ``decode_slots`` beams are in flight, lower-priority sequences are
+        preempted (cache rows released, decoded tokens kept) and restored
+        later by replaying prompt+suffix as one prefill.
+        """
+        # local import: repro.serving must stay importable without the model zoo
+        from repro.models.transformer import coerce_prompt
+
+        request = (request if request is not None else GenerationRequest()).validated()
+        max_seq_len = getattr(self.model, "max_seq_len", None)
+        if max_seq_len is None:
+            raise TypeError(
+                f"{type(self.model).__name__} does not support generation "
+                "(needs max_seq_len/new_decode_state/forward_step, e.g. GPTStyleLM)"
+            )
+        prompt = coerce_prompt(prompt, max_seq_len)
+        if prompt.size >= max_seq_len:
+            raise ValueError(
+                f"prompt of {prompt.size} tokens leaves no room to generate within "
+                f"max_seq_len={max_seq_len}"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ServingEngine")
+            if self._generation_driver is None:
+                self._generation_driver = GenerationDriver(
+                    self.model,
+                    slots=self.decode_slots,
+                    admission=self.generation_admission,
+                    memory_budget=self.decode_memory_budget,
+                )
+            driver = self._generation_driver
+        session = driver.submit(prompt, request)
+        return session.stream if request.stream else session.future
 
     @property
     def stats(self) -> dict:
@@ -400,6 +491,10 @@ class ServingEngine:
                 for key, value in cache.stats().items():
                     totals[key] = totals.get(key, 0) + value
             snapshot["plan_cache"] = totals
+        with self._lock:
+            driver = self._generation_driver
+        if driver is not None:
+            snapshot["generation"] = driver.stats
         return snapshot
 
     def _note_expired(self, count: int) -> None:

@@ -1,0 +1,458 @@
+"""Token-level generation serving: decode-state pool + batching driver.
+
+The one-shot engine path batches whole forwards; autoregressive generation
+needs batching *per decode step*.  This module adds that tier:
+
+* :class:`DecodeStatePool` — one batched per-layer KV cache
+  (:class:`~repro.models.transformer.DecodeState`) per storage kind, with
+  explicit row allocation so many requests multiplex one cache;
+* :class:`GenerationSession` — the unit the :class:`TokenScheduler` schedules:
+  a prompt, its :class:`~repro.serving.api.GenerationRequest`, the beams'
+  decoded suffixes, and the cache rows it currently occupies (preemption drops
+  the rows but keeps the suffixes — a restore replays prompt+suffix as one
+  ragged prefill, which lands it exactly where it left off);
+* :class:`GenerationStream` — queue-backed token iterator for
+  ``GenerationRequest(stream=True)``;
+* :class:`GenerationDriver` — the single background thread that ticks:
+  each tick it asks the scheduler for admissions/preemptions/expiries, then
+  co-batches **prefills of new arrivals with single-token decode steps of
+  every in-flight sequence** into one padded
+  :meth:`~repro.models.transformer.GPTStyleLM.forward_step` call per storage
+  kind.  New requests submitted while a tick's forward runs join the next
+  tick — mid-decode admission with no drain barrier.
+
+The driver mirrors ``GPTStyleLM.generate``'s cached greedy/beam math
+operation-for-operation, so a lone request through the engine reproduces the
+model-level output token-for-token (float KV cache; dynamic-activation
+quantized models see co-batch-dependent scales — see the README notes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.serving.api import GenerationRequest
+from repro.serving.scheduler import DeadlineExceeded, TokenScheduler
+
+__all__ = [
+    "DecodeStatePool",
+    "GenerationSession",
+    "GenerationStream",
+    "GenerationDriver",
+]
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    return shifted - np.log(np.sum(np.exp(shifted)))
+
+
+class DecodeStatePool:
+    """Row-slot allocator over one batched :class:`DecodeState`.
+
+    The pool owns ``slots`` cache rows; sessions borrow contiguous-or-not row
+    index arrays via :meth:`alloc` and give them back with :meth:`release`
+    (which resets the rows' cached lengths so storage is reused).
+    """
+
+    def __init__(self, model, slots: int, storage: str = "float32") -> None:
+        self.storage = storage
+        self.state = model.new_decode_state(slots, storage=storage)
+        self._free = list(range(slots))
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def alloc(self, n: int) -> np.ndarray:
+        if n > len(self._free):
+            raise RuntimeError(
+                f"decode-state pool exhausted: need {n} rows, have {len(self._free)}"
+            )
+        rows = np.asarray([self._free.pop() for _ in range(n)], dtype=np.int64)
+        self.state.reset_rows(rows)
+        return rows
+
+    def release(self, rows: np.ndarray) -> None:
+        self.state.reset_rows(rows)
+        self._free.extend(int(r) for r in rows)
+
+
+class GenerationSession:
+    """One in-flight generation request, schedulable by :class:`TokenScheduler`.
+
+    Exposes the scheduler protocol (``slots``/``priority``/``order``/
+    ``deadline``/``submitted``) plus the decode bookkeeping: per-beam decoded
+    ``suffixes``/``scores``/``done`` flags survive preemption, while ``rows``
+    (the cache rows currently held) and ``needs_prefill`` describe the
+    session's tenancy in a :class:`DecodeStatePool`.
+    """
+
+    def __init__(
+        self,
+        prompt: np.ndarray,
+        request: GenerationRequest,
+        future: Optional[Future],
+        stream: Optional["GenerationStream"],
+        order: int,
+        deadline: Optional[float],
+    ) -> None:
+        self.prompt = prompt
+        self.request = request
+        self.future = future
+        self.stream = stream
+        self.order = order
+        self.priority = int(request.priority)
+        self.deadline = deadline
+        self.submitted = time.monotonic()
+        self.slots = int(request.beam_size)
+        self.storage = request.kv_cache
+        self.rows: Optional[np.ndarray] = None
+        self.needs_prefill = True
+        self.seeded = False  # beam search: first step seeds from row 0's top-k
+        self.suffixes: List[List[int]] = [[] for _ in range(self.slots)]
+        self.scores: List[float] = [0.0] * self.slots
+        self.done: List[bool] = [False] * self.slots
+        self.preemptions = 0
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # tick-side helpers (called by the driver)
+    # ------------------------------------------------------------------
+    def step_inputs(self) -> List[List[int]]:
+        """Token ids each of this session's rows feeds this tick.
+
+        A prefill (fresh or restore) replays ``prompt + suffix`` per beam row;
+        a decode step feeds each row's last emitted token.
+        """
+        prompt = self.prompt.tolist()
+        if self.needs_prefill:
+            return [prompt + suffix for suffix in self.suffixes]
+        return [[suffix[-1]] for suffix in self.suffixes]
+
+    def advance(self, last_logits: np.ndarray, state) -> None:
+        """Consume this tick's last-position logits (one vector per beam row).
+
+        Mirrors ``GPTStyleLM._generate_greedy_cached`` /
+        ``_generate_beam_cached`` exactly so engine output matches the
+        model-level reference token-for-token.
+        """
+        request = self.request
+        max_total = min(state.max_seq_len, self.prompt.size + request.max_new_tokens)
+        if request.beam_size == 1:
+            token = int(np.argmax(last_logits[0]))
+            self.suffixes[0].append(token)
+            if self.stream is not None:
+                self.stream._put_token(token)
+            hit_eos = request.eos_token is not None and token == request.eos_token
+            self.done[0] = hit_eos or self.prompt.size + len(self.suffixes[0]) >= max_total
+        elif not self.seeded:
+            logp0 = _log_softmax(last_logits[0])
+            seeds = np.argsort(logp0)[-request.beam_size :]
+            self.suffixes = [[int(t)] for t in seeds]
+            self.scores = [float(logp0[t]) for t in seeds]
+            self.done = [
+                request.eos_token is not None and int(t) == request.eos_token for t in seeds
+            ]
+            self.seeded = True
+        else:
+            candidates = []  # (score, parent, token-or-None)
+            for b in range(request.beam_size):
+                if self.done[b]:
+                    candidates.append((self.scores[b], b, None))
+                    continue
+                logp = _log_softmax(last_logits[b])
+                for token in np.argsort(logp)[-request.beam_size :]:
+                    candidates.append((self.scores[b] + float(logp[token]), b, int(token)))
+            candidates.sort(key=lambda item: item[0], reverse=True)
+            chosen = candidates[: request.beam_size]
+            parents = [parent for _, parent, _ in chosen]
+            state.permute_rows(self.rows, parents)
+            self.suffixes = [
+                self.suffixes[parent] + ([] if token is None else [token])
+                for _, parent, token in chosen
+            ]
+            self.scores = [score for score, _, _ in chosen]
+            self.done = [
+                token is None or (request.eos_token is not None and token == request.eos_token)
+                for _, _, token in chosen
+            ]
+        if request.beam_size > 1:
+            # a beam that cannot take another step (budget or cache capacity)
+            # is finished even without EOS
+            limit = max_total - self.prompt.size
+            self.done = [d or len(s) >= limit for d, s in zip(self.done, self.suffixes)]
+        self.needs_prefill = False
+        if all(self.done):
+            self.finished = True
+
+    def result_sequence(self) -> np.ndarray:
+        best = int(np.argmax(self.scores)) if self.request.beam_size > 1 else 0
+        return np.concatenate([self.prompt, np.asarray(self.suffixes[best], dtype=np.int64)])
+
+    def resolve(self) -> None:
+        """Deliver the finished sequence (outside the driver lock)."""
+        sequence = self.result_sequence()
+        if self.stream is not None:
+            self.stream._finish(sequence)
+        if self.future is not None and self.future.set_running_or_notify_cancel():
+            self.future.set_result(sequence)
+
+    def fail(self, exc: BaseException) -> None:
+        if self.stream is not None:
+            self.stream._fail(exc)
+        if self.future is not None and self.future.set_running_or_notify_cancel():
+            self.future.set_exception(exc)
+
+
+class GenerationStream:
+    """Token iterator returned by ``engine.generate(..., stream=True)``.
+
+    Iterating yields token ids as the driver emits them; :meth:`result` blocks
+    for (and returns) the full sequence including the prompt.
+    """
+
+    _DONE = object()
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue" = queue.Queue()
+        self._final: Future = Future()
+
+    def _put_token(self, token: int) -> None:
+        self._queue.put(token)
+
+    def _finish(self, sequence: np.ndarray) -> None:
+        self._queue.put(self._DONE)
+        if self._final.set_running_or_notify_cancel():
+            self._final.set_result(sequence)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._queue.put(exc)
+        if self._final.set_running_or_notify_cancel():
+            self._final.set_exception(exc)
+
+    def __iter__(self):
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                return
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        return self._final.result(timeout=timeout)
+
+
+class GenerationDriver:
+    """Single background thread running the token-level batching loop.
+
+    Each tick:
+
+    1. :meth:`TokenScheduler.plan` decides admissions (rows allocated, prefill
+       owed), preemptions (rows released, suffixes kept) and expiries (futures
+       failed with :class:`DeadlineExceeded`);
+    2. every running session contributes its rows to **one padded ragged
+       ``forward_step`` call per storage kind** — prompt replays (``S`` = full
+       length) and decode steps (``S`` = 1) in the same batch;
+    3. each session consumes its rows' last-valid-position logits: greedy
+       append / beam seed / beam step, stream emission, completion on EOS,
+       ``max_new_tokens`` or cache capacity.
+
+    Submissions landing while a forward runs are queued by the scheduler and
+    admitted next tick, so prefills co-batch with in-flight decodes instead of
+    waiting for a drain.
+    """
+
+    def __init__(
+        self,
+        model,
+        slots: int = 16,
+        admission: str = "continuous",
+        memory_budget: Optional[int] = None,
+    ) -> None:
+        if not hasattr(model, "forward_step") or not hasattr(model, "new_decode_state"):
+            raise TypeError(
+                f"{type(model).__name__} does not support incremental decode "
+                "(needs new_decode_state/forward_step, e.g. GPTStyleLM)"
+            )
+        self._model = model
+        if memory_budget is not None:
+            probe = model.new_decode_state(1, storage="float32")
+            slots = min(int(slots), max(1, int(memory_budget) // max(1, probe.row_nbytes)))
+        self._scheduler = TokenScheduler(int(slots), admission=admission)
+        self._pools: Dict[str, DecodeStatePool] = {}
+        self._cond = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._order = itertools.count()
+        self._stats = {
+            "slots": int(slots),
+            "sequences": 0,
+            "generated_tokens": 0,
+            "prefill_steps": 0,
+            "decode_steps": 0,
+            "preemptions": 0,
+            "restores": 0,
+            "expired": 0,
+        }
+        self._prefill_s: List[float] = []
+        self._decode_s: List[float] = []
+        self._busy_s = 0.0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, prompt: np.ndarray, request: GenerationRequest) -> GenerationSession:
+        """Queue one generation; the session carries its future/stream."""
+        stream = GenerationStream() if request.stream else None
+        future = None if request.stream else Future()
+        deadline = None
+        if request.deadline_ms is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed GenerationDriver")
+            session = GenerationSession(
+                prompt, request, future, stream, next(self._order), deadline
+            )
+            self._scheduler.add(session)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-generation-driver", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+        return session
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop admission of new requests and drain in-flight generations."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    @property
+    def stats(self) -> dict:
+        with self._cond:
+            snapshot = dict(self._stats)
+            snapshot["tokens_per_s"] = (
+                snapshot["generated_tokens"] / self._busy_s if self._busy_s > 0 else 0.0
+            )
+            for name, samples in (("prefill", self._prefill_s), ("decode", self._decode_s)):
+                if samples:
+                    arr = np.asarray(samples)
+                    snapshot[f"{name}_p50_ms"] = float(np.percentile(arr, 50) * 1e3)
+                    snapshot[f"{name}_p95_ms"] = float(np.percentile(arr, 95) * 1e3)
+            return snapshot
+
+    # ------------------------------------------------------------------
+    # driver thread
+    # ------------------------------------------------------------------
+    def _pool(self, storage: str) -> DecodeStatePool:
+        if storage not in self._pools:
+            self._pools[storage] = DecodeStatePool(
+                self._model, self._scheduler.total_slots, storage=storage
+            )
+        return self._pools[storage]
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    busy = bool(self._scheduler.waiting or self._scheduler.running)
+                    if busy or self._closed:
+                        break
+                    self._cond.wait()
+                if self._closed and not busy:
+                    return
+                now = time.monotonic()
+                admitted, preempted, expired = self._scheduler.plan(now)
+                for session in preempted:
+                    self._pool(session.storage).release(session.rows)
+                    session.rows = None
+                    session.needs_prefill = True
+                    session.preemptions += 1
+                    self._stats["preemptions"] += 1
+                for session in admitted:
+                    session.rows = self._pool(session.storage).alloc(session.slots)
+                    session.needs_prefill = True
+                    if session.preemptions:
+                        self._stats["restores"] += 1
+                self._stats["expired"] += len(expired)
+                running = list(self._scheduler.running)
+            for session in expired:
+                session.fail(
+                    DeadlineExceeded(
+                        f"generation deadline passed after "
+                        f"{time.monotonic() - session.submitted:.3f}s in queue"
+                    )
+                )
+            if running:
+                self._tick(running)
+
+    def _tick(self, running: List[GenerationSession]) -> None:
+        by_storage: Dict[str, List[GenerationSession]] = {}
+        for session in running:
+            by_storage.setdefault(session.storage, []).append(session)
+        finished: List[GenerationSession] = []
+        for storage, sessions in by_storage.items():
+            self._tick_storage(storage, sessions, finished)
+        for session in finished:
+            session.resolve()
+
+    def _tick_storage(
+        self,
+        storage: str,
+        sessions: List[GenerationSession],
+        finished: List[GenerationSession],
+    ) -> None:
+        pool = self._pool(storage)
+        inputs: List[List[int]] = []
+        row_ids: List[int] = []
+        spans: List[tuple] = []  # (session, batch offset)
+        any_prefill = False
+        for session in sessions:
+            any_prefill = any_prefill or session.needs_prefill
+            spans.append((session, len(row_ids)))
+            for row, tokens in zip(session.rows, session.step_inputs()):
+                row_ids.append(int(row))
+                inputs.append(tokens)
+        new_lens = np.asarray([len(tokens) for tokens in inputs], dtype=np.int64)
+        width = int(new_lens.max())
+        tokens = np.zeros((len(inputs), width), dtype=np.int64)
+        for i, ids in enumerate(inputs):
+            tokens[i, : len(ids)] = ids
+        start = time.perf_counter()
+        with no_grad():
+            logits = self._model.forward_step(
+                tokens, pool.state, rows=np.asarray(row_ids, dtype=np.int64), new_lens=new_lens
+            ).data
+        elapsed = time.perf_counter() - start
+        last = logits[np.arange(len(inputs)), new_lens - 1]
+        with self._cond:
+            self._busy_s += elapsed
+            (self._prefill_s if any_prefill else self._decode_s).append(elapsed)
+            self._stats["prefill_steps" if any_prefill else "decode_steps"] += 1
+            for session, offset in spans:
+                before = sum(len(s) for s in session.suffixes)
+                session.advance(last[offset : offset + session.slots], pool.state)
+                self._stats["generated_tokens"] += max(
+                    0, sum(len(s) for s in session.suffixes) - before
+                )
+                if session.finished:
+                    pool.release(session.rows)
+                    session.rows = None
+                    self._scheduler.on_finished(session)
+                    self._stats["sequences"] += 1
+                    finished.append(session)

@@ -43,7 +43,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["DeadlineExceeded", "Request", "ContinuousScheduler", "compat_key"]
+__all__ = [
+    "DeadlineExceeded",
+    "Request",
+    "ContinuousScheduler",
+    "TokenScheduler",
+    "compat_key",
+]
 
 #: how far ahead of a deadline the admission window closes, so the forward
 #: can start before the deadline instead of expiring exactly on it
@@ -275,3 +281,127 @@ class ContinuousScheduler:
             self._opened.pop(key, None)
             self._meta.pop(key, None)
         return group, dropped
+
+
+class TokenScheduler:
+    """Slot-budgeted admission for token-level generation batching.
+
+    The one-shot :class:`ContinuousScheduler` hands out whole groups; a
+    generation session instead *occupies* decode-state slots (one KV-cache row
+    per beam) for many ticks.  :class:`TokenScheduler` owns that slot budget:
+    each tick the generation driver calls :meth:`plan`, which decides
+
+    * **expiry** — waiting sessions whose deadline passed before their prefill
+      was admitted fail with :class:`DeadlineExceeded` (a *running* session is
+      never killed by its deadline);
+    * **admission** — waiting sessions start, most urgent first, while slots
+      remain (``admission="continuous"``: new prefills co-batch with in-flight
+      decodes; ``admission="drain"``: nothing is admitted until the running
+      set empties — the lock-step baseline the benchmark compares against);
+    * **preemption** — when slots are exhausted, a waiting session may evict
+      **strictly less urgent** running sessions (least urgent first).  The
+      strictness is the anti-thrash rule: an evictee can never immediately
+      evict its evictor, because equal urgency never preempts.
+
+    Urgency is ``(-priority, order)`` — deadlines affect expiry, not ordering,
+    so a tight deadline does not let a late request leapfrog the queue.
+
+    Scheduled items are opaque beyond five attributes: ``slots`` (rows
+    needed), ``priority``, ``order``, ``deadline`` and ``submitted``.  The
+    class is not itself thread-safe; the generation driver serialises calls
+    under its own lock.
+    """
+
+    def __init__(self, total_slots: int, admission: str = "continuous") -> None:
+        if int(total_slots) < 1:
+            raise ValueError(f"total_slots must be >= 1, got {total_slots!r}")
+        if admission not in ("continuous", "drain"):
+            raise ValueError(f"admission must be 'continuous' or 'drain', got {admission!r}")
+        self.total_slots = int(total_slots)
+        self.admission = admission
+        self._waiting: List = []
+        self._running: List = []
+
+    @staticmethod
+    def _urgency(item) -> Tuple[int, int]:
+        return (-item.priority, item.order)
+
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - sum(item.slots for item in self._running)
+
+    @property
+    def waiting(self) -> List:
+        return list(self._waiting)
+
+    @property
+    def running(self) -> List:
+        return list(self._running)
+
+    def add(self, item) -> None:
+        """Queue a session for admission (it needs ``item.slots`` rows)."""
+        if item.slots > self.total_slots:
+            raise ValueError(
+                f"session needs {item.slots} slots but the scheduler only has "
+                f"{self.total_slots}; raise decode_slots or lower beam_size"
+            )
+        self._waiting.append(item)
+
+    def on_finished(self, item) -> None:
+        """Release a completed (or failed) running session's slots."""
+        if item in self._running:
+            self._running.remove(item)
+
+    def discard(self, item) -> None:
+        """Drop a session wherever it currently sits (cancellation path)."""
+        if item in self._waiting:
+            self._waiting.remove(item)
+        if item in self._running:
+            self._running.remove(item)
+
+    def plan(self, now: float) -> Tuple[List, List, List]:
+        """One tick's scheduling decision: ``(admitted, preempted, expired)``.
+
+        ``admitted`` sessions moved waiting→running this tick (the driver owes
+        them a prefill, or a restore-prefill if previously preempted);
+        ``preempted`` moved running→waiting (the driver must release their
+        decode rows); ``expired`` were removed entirely (the driver fails
+        their futures).
+        """
+        expired = [s for s in self._waiting if s.deadline is not None and now > s.deadline]
+        for item in expired:
+            self._waiting.remove(item)
+
+        admitted: List = []
+        preempted: List = []
+        if self.admission == "drain" and self._running:
+            return admitted, preempted, expired
+
+        free = self.free_slots
+        for item in sorted(self._waiting, key=self._urgency):
+            if item.slots <= free:
+                free -= item.slots
+                admitted.append(item)
+                continue
+            # preemption: evict strictly less urgent running sessions, least
+            # urgent first, if that frees enough rows
+            victims: List = []
+            reclaim = 0
+            for victim in sorted(self._running, key=self._urgency, reverse=True):
+                if victim in preempted or self._urgency(victim) <= self._urgency(item):
+                    continue
+                victims.append(victim)
+                reclaim += victim.slots
+                if free + reclaim >= item.slots:
+                    break
+            if free + reclaim >= item.slots:
+                preempted.extend(victims)
+                free += reclaim - item.slots
+                admitted.append(item)
+        for item in preempted:
+            self._running.remove(item)
+            self._waiting.append(item)
+        for item in admitted:
+            self._waiting.remove(item)
+            self._running.append(item)
+        return admitted, preempted, expired

@@ -1,0 +1,368 @@
+"""Generation serving: typed request API, token-level batching, preemption.
+
+The engine's generation tier must reproduce ``model.generate`` token for
+token while decode steps of many requests share each forward — under
+mid-decode admission, preemption/restore, streaming delivery, and both
+KV-cache storages.  The deprecation shims keep every pre-existing
+``submit``/``serve``/``serve_batch`` call site working, warning once.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.serving.api as serving_api
+from repro.models.transformer import GPTStyleLM
+from repro.serving import (
+    DeadlineExceeded,
+    GenerationRequest,
+    GenerationStream,
+    ServingEngine,
+    SubmitOptions,
+    TokenScheduler,
+)
+
+
+def small_lm(seed=0, max_seq_len=64):
+    model = GPTStyleLM(
+        vocab_size=32, max_seq_len=max_seq_len, embed_dim=32, num_heads=4, num_layers=2, rng=seed
+    )
+    return model.eval()
+
+
+class SlowStepLM(GPTStyleLM):
+    """Throttled decode steps so admission/preemption races are deterministic."""
+
+    def __init__(self, *args, step_delay_s=0.01, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.step_delay_s = step_delay_s
+
+    def forward_step(self, *args, **kwargs):
+        time.sleep(self.step_delay_s)
+        return super().forward_step(*args, **kwargs)
+
+
+def slow_lm(seed=0, max_seq_len=64, step_delay_s=0.01):
+    model = SlowStepLM(
+        vocab_size=32,
+        max_seq_len=max_seq_len,
+        embed_dim=32,
+        num_heads=4,
+        num_layers=2,
+        rng=seed,
+        step_delay_s=step_delay_s,
+    )
+    return model.eval()
+
+
+@pytest.fixture
+def fresh_warnings(monkeypatch):
+    """Reset the warn-once registry so each test observes its own warning."""
+    monkeypatch.setattr(serving_api, "_WARNED", set())
+
+
+class TestRequestDataclasses:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            GenerationRequest(max_new_tokens=0).validated()
+        with pytest.raises(ValueError, match="beam_size"):
+            GenerationRequest(beam_size=0).validated()
+        with pytest.raises(ValueError, match="stream"):
+            GenerationRequest(stream=True, beam_size=2).validated()
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SubmitOptions(deadline_ms=0).validated()
+        with pytest.raises(ValueError, match="kv_cache"):
+            GenerationRequest(kv_cache="").validated()
+
+    def test_options_plus_legacy_kwargs_is_an_error(self):
+        engine = ServingEngine(small_lm(), plan_cache=False)
+        try:
+            with pytest.raises(TypeError, match="not both"):
+                engine.submit(np.zeros((2,)), SubmitOptions(priority=1), priority=2)
+        finally:
+            engine.close()
+
+
+class TestDeprecationShims:
+    def test_legacy_kwargs_warn_once_per_method(self, fresh_warnings):
+        model = nn.Sequential(nn.Linear(4, 4, rng=0)).eval()
+        engine = ServingEngine(model, plan_cache=False)
+        try:
+            sample = np.zeros(4, dtype=np.float32)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                engine.serve(sample, priority=1)
+                engine.serve(sample, priority=2)
+            shim_warnings = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(shim_warnings) == 1
+            assert "SubmitOptions" in str(shim_warnings[0].message)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                engine.submit(sample, deadline_ms=5000).result(timeout=10)
+                engine.serve_batch([sample, sample], priority=1)
+            categories = [w.category for w in caught if w.category is DeprecationWarning]
+            assert len(categories) == 2  # one for submit, one for serve_batch
+        finally:
+            engine.close()
+
+    def test_typed_options_do_not_warn(self, fresh_warnings):
+        model = nn.Sequential(nn.Linear(4, 4, rng=0)).eval()
+        engine = ServingEngine(model, plan_cache=False)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                engine.serve(np.zeros(4, dtype=np.float32), SubmitOptions(priority=3))
+            assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        finally:
+            engine.close()
+
+    def test_zero_deadline_still_rejected_through_shim(self, fresh_warnings):
+        model = nn.Sequential(nn.Linear(4, 4, rng=0)).eval()
+        engine = ServingEngine(model, plan_cache=False)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                with pytest.raises(ValueError, match="deadline_ms"):
+                    engine.submit(np.zeros(4, dtype=np.float32), deadline_ms=0)
+        finally:
+            engine.close()
+
+
+class TestEngineGeneration:
+    def test_greedy_matches_model_generate(self):
+        model = small_lm()
+        prompts = [np.array([1, 2, 3]), np.array([7, 8]), np.array([4, 5, 6, 9])]
+        refs = [model.generate(p, max_new_tokens=10) for p in prompts]
+        with ServingEngine(model, plan_cache=False) as engine:
+            futures = [
+                engine.generate(p, GenerationRequest(max_new_tokens=10)) for p in prompts
+            ]
+            outputs = [f.result(timeout=60) for f in futures]
+        for ref, out in zip(refs, outputs):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_beam_matches_model_generate(self):
+        model = small_lm(seed=3)
+        prompt = np.array([2, 9, 4])
+        ref = model.generate(prompt, max_new_tokens=8, beam_size=3)
+        with ServingEngine(model, plan_cache=False) as engine:
+            out = engine.generate(
+                prompt, GenerationRequest(max_new_tokens=8, beam_size=3)
+            ).result(timeout=60)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_stream_yields_tokens_in_order(self):
+        model = small_lm()
+        prompt = np.array([1, 2, 3])
+        ref = model.generate(prompt, max_new_tokens=8)
+        with ServingEngine(model, plan_cache=False) as engine:
+            stream = engine.generate(prompt, GenerationRequest(max_new_tokens=8, stream=True))
+            assert isinstance(stream, GenerationStream)
+            tokens = list(stream)
+            np.testing.assert_array_equal(np.concatenate([prompt, tokens]), ref)
+            np.testing.assert_array_equal(stream.result(timeout=10), ref)
+
+    def test_eos_stops_engine_generation(self):
+        model = small_lm()
+        prompt = np.array([1, 2, 3])
+        ref = model.generate(prompt, max_new_tokens=10)
+        eos = int(ref[prompt.size + 2])
+        model_stopped = model.generate(prompt, max_new_tokens=10, eos_token=eos)
+        with ServingEngine(model, plan_cache=False) as engine:
+            out = engine.generate(
+                prompt, GenerationRequest(max_new_tokens=10, eos_token=eos)
+            ).result(timeout=60)
+        np.testing.assert_array_equal(out, model_stopped)
+
+    def test_fp8_kv_cache_request(self):
+        model = small_lm(seed=5)
+        prompt = np.array([3, 1, 4])
+        ref = model.generate(prompt, max_new_tokens=10, kv_cache="E4M3")
+        with ServingEngine(model, plan_cache=False) as engine:
+            out = engine.generate(
+                prompt, GenerationRequest(max_new_tokens=10, kv_cache="E4M3")
+            ).result(timeout=60)
+            stats = engine.stats["generation"]
+        np.testing.assert_array_equal(out, ref)
+        assert stats["sequences"] == 1
+
+    def test_mid_decode_admission(self):
+        model = slow_lm()
+        p1, p2 = np.array([1, 2, 3]), np.array([7, 8])
+        ref1 = model.generate(p1, max_new_tokens=24)
+        ref2 = model.generate(p2, max_new_tokens=6)
+        with ServingEngine(model, plan_cache=False, decode_slots=8) as engine:
+            f1 = engine.generate(p1, GenerationRequest(max_new_tokens=24))
+            time.sleep(0.05)  # f1 is mid-decode when f2 arrives
+            f2 = engine.generate(p2, GenerationRequest(max_new_tokens=6))
+            np.testing.assert_array_equal(f1.result(timeout=120), ref1)
+            np.testing.assert_array_equal(f2.result(timeout=120), ref2)
+            stats = engine.stats["generation"]
+        assert stats["sequences"] == 2
+        assert stats["decode_steps"] >= 1 and stats["prefill_steps"] >= 1
+        assert stats["generated_tokens"] == 30
+
+    def test_preemption_restore_round_trip(self):
+        model = slow_lm()
+        p_low, p_high = np.array([1, 2, 3]), np.array([7, 8])
+        ref_low = model.generate(p_low, max_new_tokens=24)
+        ref_high = model.generate(p_high, max_new_tokens=6)
+        with ServingEngine(model, plan_cache=False, decode_slots=1) as engine:
+            f_low = engine.generate(p_low, GenerationRequest(max_new_tokens=24, priority=0))
+            time.sleep(0.06)  # let the low-priority request occupy the only slot
+            f_high = engine.generate(p_high, GenerationRequest(max_new_tokens=6, priority=5))
+            np.testing.assert_array_equal(f_high.result(timeout=120), ref_high)
+            np.testing.assert_array_equal(f_low.result(timeout=120), ref_low)
+            stats = engine.stats["generation"]
+        assert stats["preemptions"] >= 1
+        assert stats["restores"] >= 1
+
+    def test_preempted_beam_restores_identically(self):
+        model = slow_lm(seed=2)
+        p_low, p_high = np.array([5, 6]), np.array([1, 2, 3])
+        ref_low = model.generate(p_low, max_new_tokens=8, beam_size=2)
+        with ServingEngine(model, plan_cache=False, decode_slots=2) as engine:
+            f_low = engine.generate(
+                p_low, GenerationRequest(max_new_tokens=8, beam_size=2, priority=0)
+            )
+            time.sleep(0.05)
+            f_high = engine.generate(p_high, GenerationRequest(max_new_tokens=4, priority=9))
+            f_high.result(timeout=120)
+            np.testing.assert_array_equal(f_low.result(timeout=120), ref_low)
+
+    def test_drain_admission_mode(self):
+        model = small_lm()
+        p1, p2 = np.array([1, 2, 3]), np.array([7, 8])
+        with ServingEngine(
+            model, plan_cache=False, decode_slots=8, generation_admission="drain"
+        ) as engine:
+            f1 = engine.generate(p1, GenerationRequest(max_new_tokens=8))
+            f2 = engine.generate(p2, GenerationRequest(max_new_tokens=8))
+            np.testing.assert_array_equal(
+                f1.result(timeout=60), model.generate(p1, max_new_tokens=8)
+            )
+            np.testing.assert_array_equal(
+                f2.result(timeout=60), model.generate(p2, max_new_tokens=8)
+            )
+
+    def test_memory_budget_caps_slots(self):
+        model = small_lm()
+        probe = model.new_decode_state(1)
+        budget = 3 * probe.row_nbytes + probe.row_nbytes // 2
+        with ServingEngine(
+            model, plan_cache=False, decode_slots=16, decode_memory_budget=budget
+        ) as engine:
+            future = engine.generate(np.array([1, 2]), GenerationRequest(max_new_tokens=2))
+            future.result(timeout=60)
+            assert engine.stats["generation"]["slots"] == 3
+
+    def test_generation_deadline_expires_in_queue(self):
+        model = slow_lm(step_delay_s=0.03)
+        with ServingEngine(model, plan_cache=False, decode_slots=1) as engine:
+            f_long = engine.generate(np.array([1, 2, 3]), GenerationRequest(max_new_tokens=20))
+            time.sleep(0.05)
+            # same priority: cannot preempt, and the running request outlives
+            # the 1ms deadline budget
+            f_late = engine.generate(
+                np.array([7, 8]), GenerationRequest(max_new_tokens=4, deadline_ms=1.0)
+            )
+            with pytest.raises(DeadlineExceeded):
+                f_late.result(timeout=120)
+            f_long.result(timeout=120)
+            assert engine.stats["generation"]["expired"] >= 1
+
+    def test_generate_rejects_bad_prompts_and_models(self):
+        model = small_lm(max_seq_len=8)
+        with ServingEngine(model, plan_cache=False) as engine:
+            with pytest.raises(ValueError, match="exceeds max_seq_len"):
+                engine.generate(np.arange(9) % 8, GenerationRequest(max_new_tokens=2))
+            with pytest.raises(ValueError, match="no room"):
+                engine.generate(np.arange(8) % 8, GenerationRequest(max_new_tokens=2))
+        mlp = nn.Sequential(nn.Linear(4, 4, rng=0)).eval()
+        with ServingEngine(mlp, plan_cache=False) as engine:
+            with pytest.raises(TypeError, match="generation"):
+                engine.generate(np.array([1, 2]), GenerationRequest())
+
+    def test_generation_stats_shape(self):
+        model = small_lm()
+        with ServingEngine(model, plan_cache=False) as engine:
+            engine.generate(np.array([1, 2, 3]), GenerationRequest(max_new_tokens=6)).result(
+                timeout=60
+            )
+            stats = engine.stats["generation"]
+        assert stats["sequences"] == 1
+        assert stats["generated_tokens"] == 6
+        assert stats["tokens_per_s"] > 0
+        assert "prefill_p50_ms" in stats and "prefill_p95_ms" in stats
+
+    def test_close_drains_inflight_generations(self):
+        model = slow_lm()
+        engine = ServingEngine(model, plan_cache=False)
+        future = engine.generate(np.array([1, 2, 3]), GenerationRequest(max_new_tokens=12))
+        engine.close()
+        assert future.done()
+        np.testing.assert_array_equal(
+            future.result(timeout=1), model.generate(np.array([1, 2, 3]), max_new_tokens=12)
+        )
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.generate(np.array([1, 2]), GenerationRequest())
+
+
+class TestTokenScheduler:
+    class Item:
+        def __init__(self, slots, priority, order, deadline=None):
+            self.slots = slots
+            self.priority = priority
+            self.order = order
+            self.deadline = deadline
+            self.submitted = 0.0
+
+    def test_admits_in_urgency_order_within_budget(self):
+        scheduler = TokenScheduler(4)
+        low = self.Item(3, 0, 0)
+        high = self.Item(3, 2, 1)
+        scheduler.add(low)
+        scheduler.add(high)
+        admitted, preempted, expired = scheduler.plan(0.0)
+        assert admitted == [high] and not preempted and not expired
+        assert scheduler.free_slots == 1
+
+    def test_preempts_only_strictly_less_urgent(self):
+        scheduler = TokenScheduler(2)
+        first = self.Item(2, 0, 0)
+        scheduler.add(first)
+        assert scheduler.plan(0.0)[0] == [first]
+        equal = self.Item(2, 0, 1)
+        scheduler.add(equal)
+        admitted, preempted, _ = scheduler.plan(0.0)
+        assert not admitted and not preempted  # equal urgency never preempts
+        urgent = self.Item(2, 5, 2)
+        scheduler.add(urgent)
+        admitted, preempted, _ = scheduler.plan(0.0)
+        assert admitted == [urgent] and preempted == [first]
+        # the evictee cannot bounce back while its evictor runs
+        admitted, preempted, _ = scheduler.plan(0.0)
+        assert not admitted and not preempted
+
+    def test_drain_mode_blocks_admission_until_empty(self):
+        scheduler = TokenScheduler(8, admission="drain")
+        first = self.Item(2, 0, 0)
+        scheduler.add(first)
+        assert scheduler.plan(0.0)[0] == [first]
+        second = self.Item(2, 0, 1)
+        scheduler.add(second)
+        assert scheduler.plan(0.0) == ([], [], [])
+        scheduler.on_finished(first)
+        assert scheduler.plan(0.0)[0] == [second]
+
+    def test_expiry_and_oversized_sessions(self):
+        scheduler = TokenScheduler(2)
+        with pytest.raises(ValueError, match="slots"):
+            scheduler.add(self.Item(3, 0, 0))
+        stale = self.Item(1, 0, 1, deadline=1.0)
+        scheduler.add(stale)
+        admitted, _, expired = scheduler.plan(2.0)
+        assert expired == [stale] and not admitted
