@@ -233,6 +233,23 @@ def quantize_dequantize(
     return (q / scale).astype(np.float32)
 
 
+#: first-touch integrity hook for mmap-loaded checkpoint views.  ``None``
+#: (a single global check on the decode path) until the serialization layer
+#: registers lazily-verified spans, at which point the container module
+#: assigns :func:`repro.serialization.container.verify_view` here — this
+#: module never imports the serialization package.
+_integrity_hook = None
+
+
+def _verify_touch(*arrays) -> None:
+    hook = _integrity_hook
+    if hook is None:
+        return
+    for array in arrays:
+        if isinstance(array, np.ndarray):
+            hook(array)
+
+
 @dataclass
 class QuantizedTensor:
     """A tensor packed into real 8-bit storage together with its scale.
@@ -301,7 +318,15 @@ class QuantizedTensor:
         return cls(codes=codes, scale=scale, fmt=fmt)
 
     def dequantize(self) -> np.ndarray:
-        """Decode the packed codes back to float32 (fused decode → rescale)."""
+        """Decode the packed codes back to float32 (fused decode → rescale).
+
+        The first decode of an mmap-loaded tensor verifies its checkpoint
+        spans' integrity digests (see
+        :func:`repro.serialization.container.verify_view`) and raises
+        :class:`~repro.serialization.container.ChecksumError` for a corrupt
+        payload instead of silently decoding garbage.
+        """
+        _verify_touch(self.codes, self.scale, self.zero_point)
         if self.is_fp8:
             return kernels.fp8_dequantize_channelwise(self.codes, self.fmt, self.scale)
         return int8_dequantize_channelwise(self.codes, self.scale, self.zero_point)
@@ -331,9 +356,11 @@ class QuantizedTensor:
             return param
 
         scale = _slice_param(self.scale)
+        zero_point = _slice_param(self.zero_point)
+        _verify_touch(codes, scale, zero_point)
         if self.is_fp8:
             return kernels.fp8_dequantize_channelwise(codes, self.fmt, scale)
-        return int8_dequantize_channelwise(codes, scale, _slice_param(self.zero_point))
+        return int8_dequantize_channelwise(codes, scale, zero_point)
 
     # ------------------------------------------------------------------
     # memory-mapped storage
@@ -361,6 +388,7 @@ class QuantizedTensor:
         longer pins the checkpoint mapping.  A tensor that is already fully
         materialised is returned unchanged (no copies are made).
         """
+        _verify_touch(self.codes, self.scale, self.zero_point)
 
         def _own(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
             if array is None:

@@ -19,9 +19,11 @@ from repro.serialization.container import (
     CONTAINER_VERSION,
     CheckpointError,
     CheckpointVersionError,
+    ChecksumError,
     clear_mapping_cache,
     read_container,
     read_header,
+    verify_container,
     write_container,
 )
 from repro.serialization.tree import flatten_state, unflatten_state
@@ -37,6 +39,8 @@ from repro.serialization.checkpoint import (
 __all__ = [
     "CheckpointError",
     "CheckpointVersionError",
+    "ChecksumError",
+    "verify_container",
     "CONTAINER_MAGIC",
     "CONTAINER_VERSION",
     "CHECKPOINT_KIND",

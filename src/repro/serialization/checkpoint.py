@@ -120,9 +120,9 @@ def _check_meta(meta: dict, path: str) -> dict:
 
 
 def _validated_meta(
-    path: str, mmap: bool = False, share_views: bool = False
+    path: str, mmap: bool = False, share_views: bool = False, verify: bool = True
 ) -> Tuple[Dict[str, np.ndarray], dict]:
-    arrays, meta = read_container(path, mmap=mmap, share_views=share_views)
+    arrays, meta = read_container(path, mmap=mmap, share_views=share_views, verify=verify)
     return arrays, _check_meta(meta, path)
 
 
@@ -151,6 +151,7 @@ def load_quantized(
     strict: bool = True,
     mmap: bool = False,
     share_views: bool = False,
+    verify: bool = True,
 ) -> Module:
     """Rebuild a converted model from a packed checkpoint — float32-free.
 
@@ -177,10 +178,17 @@ def load_quantized(
     replica models share a single read-only mmap'd checkpoint and the packed
     bytes on disk are mapped exactly once per process
     (``resident_report([replica, ...])`` then counts them once too).
+
+    ``verify=True`` (default) enforces the container's per-span integrity
+    digests: copied loads raise
+    :class:`~repro.serialization.container.ChecksumError` at load time for a
+    corrupt payload span; mmap loads verify each span lazily on the first
+    decode touch of a view into it.  Version-1 checkpoints (no digests) load
+    unchanged.
     """
     if share_views and not mmap:
         raise ValueError("share_views=True requires mmap=True")
-    arrays, meta = _validated_meta(path, mmap=mmap, share_views=share_views)
+    arrays, meta = _validated_meta(path, mmap=mmap, share_views=share_views, verify=verify)
     state = unflatten_state(meta["state"], arrays)
 
     model = model_factory()

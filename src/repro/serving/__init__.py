@@ -36,10 +36,28 @@ Pair with ``load_quantized(..., mmap=True)`` for the cold-start half;
 ``share_views=True`` lets multi-worker replicas alias one file mapping.
 ``ServingEngine.from_checkpoint(..., workers=N)`` wires mmap load, shared
 views, serving mode, prefetch and the engine in one call.
+
+Failure behaviour is part of the API: :mod:`repro.serving.errors` is the
+typed exception taxonomy (:class:`~repro.serving.errors.ServingError` and
+friends), and :mod:`repro.serving.faults` the deterministic fault injector
+that exercises every recovery path (worker supervision and restart, retry
+with backoff, queue caps and shedding, prefetch error relay, checkpoint
+integrity).
 """
 
 from repro.serving.api import GenerationRequest, SubmitOptions
 from repro.serving.engine import ServingEngine
+from repro.serving.errors import (
+    DeadlineExceeded,
+    EngineClosed,
+    EngineDraining,
+    PrefetchError,
+    QueueFull,
+    RequestShed,
+    ServingError,
+    WorkerCrashed,
+)
+from repro.serving.faults import FaultInjector, FaultSpec, InjectedCrash, InjectedError, injected
 from repro.serving.generation import (
     DecodeStatePool,
     GenerationDriver,
@@ -49,7 +67,6 @@ from repro.serving.generation import (
 from repro.serving.prefetch import BlockPrefetcher, PipelinePrefetcher
 from repro.serving.scheduler import (
     ContinuousScheduler,
-    DeadlineExceeded,
     Request,
     TokenScheduler,
     compat_key,
@@ -67,7 +84,19 @@ __all__ = [
     "PipelinePrefetcher",
     "ContinuousScheduler",
     "TokenScheduler",
-    "DeadlineExceeded",
     "Request",
     "compat_key",
+    "ServingError",
+    "EngineClosed",
+    "EngineDraining",
+    "QueueFull",
+    "RequestShed",
+    "DeadlineExceeded",
+    "WorkerCrashed",
+    "PrefetchError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedError",
+    "injected",
 ]

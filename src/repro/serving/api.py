@@ -36,19 +36,36 @@ class SubmitOptions:
     Parameters
     ----------
     priority:
-        Higher values are served first.
+        Higher values are served first.  Under overload with
+        ``shed_policy="priority"`` the lowest priority class is shed first.
     deadline_ms:
         Queue-time budget: the admission window closes early to start the
         forward before the deadline, and a request still queued past it fails
-        with :class:`~repro.serving.scheduler.DeadlineExceeded`.
+        with :class:`~repro.serving.errors.DeadlineExceeded`.
+    max_retries:
+        How many times the engine may *requeue* this request after a worker
+        crash or a transient forward error before failing the future with
+        :class:`~repro.serving.errors.WorkerCrashed` (crashes) or the
+        original exception (forward errors).  Only meaningful for idempotent
+        forwards — a retried request re-runs the whole forward.  Default 0:
+        fail fast on the first error, exactly the pre-retry behaviour.
+    retry_backoff_ms:
+        Base of the exponential backoff between retry attempts: attempt *k*
+        is requeued after ``retry_backoff_ms * 2**(k-1)`` milliseconds.
     """
 
     priority: int = 0
     deadline_ms: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff_ms: float = 25.0
 
     def validated(self) -> "SubmitOptions":
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms!r}")
+        if int(self.max_retries) < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.retry_backoff_ms < 0:
+            raise ValueError(f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms!r}")
         return self
 
 

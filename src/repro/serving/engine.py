@@ -58,6 +58,25 @@ Observability: :attr:`ServingEngine.stats` reports counters plus queue-wait
 and forward-time percentiles (p50/p95) and per-group occupancy, so admission
 behaviour is visible, not inferred.
 
+Fault tolerance
+---------------
+Worker threads are *supervised*: a supervisor thread watches every worker
+slot and, when a worker dies mid-forward (or exceeds the hung-forward
+timeout), recovers its in-flight group — requests with retry budget
+(``SubmitOptions(max_retries=...)``) are requeued with exponential backoff
+and re-run bit-identically on a restarted worker sharing the same replica;
+requests without budget fail fast with a typed
+:class:`~repro.serving.errors.WorkerCrashed` carrying the crash as its
+``__cause__``.  Ordinary forward exceptions stay scoped to the failing
+group: its futures reject with the original exception (or retry, with
+budget), other compatibility buckets keep being served.  Overload control is
+delegated to the scheduler: ``max_queue_depth`` bounds the queue
+(:class:`~repro.serving.errors.QueueFull` fast-fail at admission, or
+lowest-priority-first shedding with ``shed_policy="priority"``), and
+:meth:`ServingEngine.drain` flips the engine into a drain-then-reject state
+ahead of shutdown.  Every recovery path here is exercised deterministically
+through :mod:`repro.serving.faults`.
+
 The engine never touches serving modes itself; combine it with
 ``load_quantized(..., mmap=True)`` and ``set_serving_mode(model,
 "streaming", prefetch="pipeline")`` (or use
@@ -67,18 +86,21 @@ cold-start-to-throughput path.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
+from repro.serving import faults
 from repro.serving.api import GenerationRequest, SubmitOptions, resolve_submit_options
+from repro.serving.errors import EngineClosed, EngineDraining, QueueFull, WorkerCrashed
 from repro.serving.generation import GenerationDriver, GenerationStream
 from repro.serving.scheduler import ContinuousScheduler, Request, compat_key
 
@@ -93,6 +115,39 @@ def _percentiles_ms(values: Sequence[float]) -> tuple:
         return 0.0, 0.0
     p50, p95 = np.percentile(np.asarray(values, dtype=np.float64), [50.0, 95.0])
     return float(p50) * 1e3, float(p95) * 1e3
+
+
+class _WorkerSlot:
+    """One worker thread plus the state its supervisor reads.
+
+    ``inflight`` holds the compatibility group the worker is forwarding right
+    now — on a crash it stays populated, and the supervisor owns recovering
+    those requests.  ``finished`` marks a clean exit (scheduler drained after
+    close); ``abandoned`` marks a hung worker the supervisor has written off:
+    its thread may still be running, but it must stop pulling groups, and any
+    late result it produces loses the future-resolution race harmlessly.
+    """
+
+    __slots__ = (
+        "index",
+        "replica",
+        "thread",
+        "inflight",
+        "forward_started",
+        "crash_exc",
+        "finished",
+        "abandoned",
+    )
+
+    def __init__(self, index: int, replica: Module) -> None:
+        self.index = index
+        self.replica = replica
+        self.thread: Optional[threading.Thread] = None
+        self.inflight: Tuple[Request, ...] = ()
+        self.forward_started: Optional[float] = None
+        self.crash_exc: Optional[BaseException] = None
+        self.finished = False
+        self.abandoned = False
 
 
 class ServingEngine:
@@ -150,6 +205,27 @@ class ServingEngine:
         ``"drain"`` admits new requests only once the running set empties —
         the lock-step baseline ``benchmarks/bench_generation.py`` measures
         against.
+    max_queue_depth:
+        Optional cap on queued one-shot requests.  At the cap, admission
+        fast-fails with :class:`~repro.serving.errors.QueueFull` (or sheds
+        under ``shed_policy="priority"``) instead of growing latency without
+        bound.
+    shed_policy:
+        ``"reject"`` (default) or ``"priority"`` — see
+        :class:`~repro.serving.scheduler.ContinuousScheduler`.
+    hung_forward_timeout_ms:
+        When set, a worker whose single forward exceeds this budget is
+        *abandoned*: its in-flight requests are recovered (retried or failed
+        with :class:`~repro.serving.errors.WorkerCrashed`) and a replacement
+        worker takes over its slot.  ``None`` (default) disables hang
+        detection — a legitimate forward can be arbitrarily slow, so this
+        must be sized against measured forward cost, not guessed.
+    restart_crashed_workers:
+        ``True`` (default): the supervisor restarts a dead worker against the
+        same (shared mmap) replica, preserving serving capacity.  ``False``
+        leaves the slot dead after recovering its requests.
+    supervision_interval_ms:
+        Supervisor polling period — bounds crash-detection latency.
     """
 
     def __init__(
@@ -164,6 +240,11 @@ class ServingEngine:
         decode_slots: int = 16,
         decode_memory_budget: Optional[int] = None,
         generation_admission: str = "continuous",
+        max_queue_depth: Optional[int] = None,
+        shed_policy: str = "reject",
+        hung_forward_timeout_ms: Optional[float] = None,
+        restart_crashed_workers: bool = True,
+        supervision_interval_ms: float = 20.0,
     ) -> None:
         if isinstance(model, Module):
             replicas = [model]
@@ -195,6 +276,14 @@ class ServingEngine:
             raise ValueError(
                 f"generation_admission must be 'continuous' or 'drain', got {generation_admission!r}"
             )
+        if hung_forward_timeout_ms is not None and hung_forward_timeout_ms <= 0:
+            raise ValueError(
+                f"hung_forward_timeout_ms must be > 0, got {hung_forward_timeout_ms!r}"
+            )
+        if supervision_interval_ms <= 0:
+            raise ValueError(
+                f"supervision_interval_ms must be > 0, got {supervision_interval_ms!r}"
+            )
         self.model = replicas[0]
         self.replicas: List[Module] = replicas
         self.workers = workers
@@ -216,8 +305,15 @@ class ServingEngine:
         self.decode_slots = int(decode_slots)
         self.decode_memory_budget = decode_memory_budget
         self.generation_admission = generation_admission
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
+        self.shed_policy = shed_policy
+        self.hung_forward_timeout_s = (
+            None if hung_forward_timeout_ms is None else float(hung_forward_timeout_ms) / 1000.0
+        )
+        self.restart_crashed_workers = bool(restart_crashed_workers)
+        self.supervision_interval_s = float(supervision_interval_ms) / 1000.0
         self._generation_driver: Optional[GenerationDriver] = None
-        self._closed = False
+        self._state = "serving"
         self._lock = threading.Lock()
         self._order = itertools.count()
         self._stats = {
@@ -228,24 +324,35 @@ class ServingEngine:
             "failed_requests": 0,
             "expired_requests": 0,
             "max_batch": 0,
+            "worker_crashes": 0,
+            "worker_restarts": 0,
+            "hung_workers": 0,
+            "retried_requests": 0,
+            "shed_requests": 0,
+            "rejected_requests": 0,
         }
         self._queue_wait_s: deque = deque(maxlen=_STATS_WINDOW)
         self._forward_s: deque = deque(maxlen=_STATS_WINDOW)
         self._group_sizes: deque = deque(maxlen=_STATS_WINDOW)
         self._scheduler = ContinuousScheduler(
-            self.max_batch_size, self.max_wait_s, on_expired=self._note_expired
+            self.max_batch_size,
+            self.max_wait_s,
+            on_expired=self._note_expired,
+            max_queue_depth=self.max_queue_depth,
+            shed_policy=self.shed_policy,
+            on_shed=self._note_shed,
         )
-        self._threads = [
-            threading.Thread(
-                target=self._work,
-                args=(replica,),
-                name=f"repro-serving-{index}",
-                daemon=True,
-            )
-            for index, replica in enumerate(replicas)
+        #: (due time, tiebreak, request) — requests backing off before a retry
+        self._retry_heap: List[Tuple[float, int, Request]] = []
+        self._retry_seq = itertools.count()
+        self._slots: List[_WorkerSlot] = [
+            self._start_slot(index, replica) for index, replica in enumerate(replicas)
         ]
-        for thread in self._threads:
-            thread.start()
+        self._stop_supervisor = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-serving-supervisor", daemon=True
+        )
+        self._supervisor.start()
 
     # ------------------------------------------------------------------
     # lifecycle / convenience construction
@@ -291,15 +398,34 @@ class ServingEngine:
             replicas.append(replica)
         return cls(replicas if workers > 1 else replicas[0], workers=workers, **engine_kwargs)
 
+    def drain(self) -> None:
+        """Stop admitting new work but keep serving everything already queued.
+
+        The graceful half of shutdown: new :meth:`submit`/:meth:`generate`
+        calls fail fast with :class:`~repro.serving.errors.EngineDraining`
+        while queued and in-flight work runs to completion; follow with
+        :meth:`close` once :attr:`stats`'s ``pending`` reaches zero (or on a
+        deadline).  Irreversible, idempotent, a no-op after ``close()``.
+        """
+        with self._lock:
+            if self._state == "serving":
+                self._state = "draining"
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting requests, serve everything already queued, stop the workers.
 
         Idempotent, and every call blocks until the workers have drained (or
         ``timeout`` expires) — a second concurrent ``close()`` returning is
-        the same quiescence guarantee as the first.
+        the same quiescence guarantee as the first.  The supervisor keeps
+        recovering crashed workers *during* the drain, so a worker death
+        mid-drain no longer hangs the caller; once ``timeout`` expires, any
+        request still unresolved (queued, backing off before a retry, or
+        in-flight on a dead/hung worker) fails with
+        :class:`~repro.serving.errors.WorkerCrashed` — close never returns
+        with a hung future outstanding.
         """
         with self._lock:
-            self._closed = True
+            self._state = "closed"
             driver = self._generation_driver
         # admission stops under the same lock submit() uses, so nothing can
         # land in the scheduler after close(); workers drain what is queued
@@ -307,14 +433,49 @@ class ServingEngine:
         deadline = None if timeout is None else time.monotonic() + timeout
         if driver is not None:
             driver.close(timeout=1e9 if timeout is None else timeout)
-        for thread in self._threads:
+        for slot in list(self._slots):
+            thread = slot.thread
             remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-            thread.join(timeout=remaining)
+            if thread is not None:
+                thread.join(timeout=remaining)
+        self._stop_supervisor.set()
+        self._supervisor.join(timeout=self.supervision_interval_s + 5.0)
+        # failsafe: whatever could not drain — queued requests, retries still
+        # backing off, groups in-flight on dead or hung workers — must not
+        # leave a caller blocked on a future that can no longer resolve
+        leftovers = self._scheduler.drain_pending()
+        with self._lock:
+            while self._retry_heap:
+                leftovers.append(heapq.heappop(self._retry_heap)[2])
+        for slot in list(self._slots):
+            leftovers.extend(slot.inflight)
+            slot.inflight = ()
+        failed = 0
+        for request in leftovers:
+            failed += request.fail(
+                WorkerCrashed(
+                    "engine closed before this request was served "
+                    "(drain timed out or its worker died)"
+                )
+            )
+        if failed:
+            with self._lock:
+                self._stats["failed_requests"] += failed
+
+    @property
+    def state(self) -> str:
+        """``"serving"``, ``"draining"`` or ``"closed"``."""
+        with self._lock:
+            return self._state
 
     @property
     def alive_workers(self) -> int:
         """How many worker threads are currently running (for liveness checks)."""
-        return sum(thread.is_alive() for thread in self._threads)
+        return sum(
+            slot.thread.is_alive()
+            for slot in self._slots
+            if slot.thread is not None and not slot.abandoned
+        )
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -339,10 +500,17 @@ class ServingEngine:
         ``priority`` orders scheduling (higher served first); ``deadline_ms``
         is a queue-time budget — the bucket closes early to start the forward
         before the deadline, and a request still queued past it fails with
-        :class:`~repro.serving.scheduler.DeadlineExceeded`.  The bare
-        ``priority=``/``deadline_ms=`` kwargs are deprecated shims (a zero or
-        negative deadline budget can never be met, so it is rejected loudly
-        instead of guaranteeing a DeadlineExceeded).
+        :class:`~repro.serving.errors.DeadlineExceeded`.  ``max_retries`` /
+        ``retry_backoff_ms`` budget transparent re-runs after a worker crash
+        or transient forward error (exhausted budget fails the future with
+        :class:`~repro.serving.errors.WorkerCrashed`, or the original
+        exception for ordinary forward errors).  Admission can fail fast:
+        :class:`~repro.serving.errors.EngineClosed` /
+        :class:`~repro.serving.errors.EngineDraining` by lifecycle state,
+        :class:`~repro.serving.errors.QueueFull` at the queue-depth cap.  The
+        bare ``priority=``/``deadline_ms=`` kwargs are deprecated shims (a
+        zero or negative deadline budget can never be met, so it is rejected
+        loudly instead of guaranteeing a DeadlineExceeded).
         """
         options = resolve_submit_options(options, priority, deadline_ms, "submit")
         if isinstance(sample, Tensor):
@@ -360,16 +528,29 @@ class ServingEngine:
             submitted=now,
             key=compat_key(sample),
             order=next(self._order),
+            max_retries=options.max_retries,
+            retry_backoff_s=float(options.retry_backoff_ms) / 1000.0,
         )
         with self._lock:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed ServingEngine")
-            self._stats["requests"] += 1
-            # admit under the lock: close() flips _closed under the same lock,
-            # so a request that passed the check above can never be added
-            # after the scheduler closed (which would raise, or leave its
-            # future unresolved after the workers exit)
+            if self._state == "closed":
+                raise EngineClosed("cannot submit to a closed ServingEngine")
+            if self._state == "draining":
+                raise EngineDraining(
+                    "engine is draining toward shutdown; new requests are rejected"
+                )
+        # admit outside the engine lock: shedding resolves a victim's future,
+        # which may run client callbacks that read engine stats (same lock)
+        try:
             self._scheduler.add(request)
+        except EngineClosed:
+            # close() won the race between our state check and admission
+            raise EngineClosed("cannot submit to a closed ServingEngine") from None
+        except QueueFull:
+            with self._lock:
+                self._stats["rejected_requests"] += 1
+            raise
+        with self._lock:
+            self._stats["requests"] += 1
         return future
 
     def serve(
@@ -449,17 +630,30 @@ class ServingEngine:
                 f"max_seq_len={max_seq_len}"
             )
         with self._lock:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed ServingEngine")
-            if self._generation_driver is None:
-                self._generation_driver = GenerationDriver(
+            if self._state == "closed":
+                raise EngineClosed("cannot submit to a closed ServingEngine")
+            if self._state == "draining":
+                raise EngineDraining(
+                    "engine is draining toward shutdown; new requests are rejected"
+                )
+            driver = self._generation_driver
+            if driver is None or driver.crashed:
+                # a crashed tick thread failed every open session; later
+                # arrivals get a fresh driver instead of a dead letterbox
+                driver = GenerationDriver(
                     self.model,
                     slots=self.decode_slots,
                     admission=self.generation_admission,
                     memory_budget=self.decode_memory_budget,
+                    max_waiting=self.max_queue_depth,
                 )
-            driver = self._generation_driver
-        session = driver.submit(prompt, request)
+                self._generation_driver = driver
+        try:
+            session = driver.submit(prompt, request)
+        except QueueFull:
+            with self._lock:
+                self._stats["rejected_requests"] += 1
+            raise
         return session.stream if request.stream else session.future
 
     @property
@@ -480,6 +674,8 @@ class ServingEngine:
             snapshot["batched_requests"] / snapshot["batches"] if snapshot["batches"] else 0.0
         )
         snapshot["workers"] = self.workers
+        snapshot["alive_workers"] = self.alive_workers
+        snapshot["state"] = self.state
         snapshot["pending"] = self._scheduler.pending()
         occupancy = float(np.mean(sizes)) / self.max_batch_size if sizes else 0.0
         snapshot["occupancy_mean"] = occupancy
@@ -502,22 +698,57 @@ class ServingEngine:
             self._stats["expired_requests"] += count
             self._stats["failed_requests"] += count
 
+    def _note_shed(self, count: int) -> None:
+        with self._lock:
+            self._stats["shed_requests"] += count
+            self._stats["failed_requests"] += count
+
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
-    def _work(self, model: Module) -> None:
-        while True:
-            group = self._scheduler.next_group()
-            if group is None:
-                return
-            self._forward_group(group, model)
+    def _start_slot(self, index: int, replica: Module) -> _WorkerSlot:
+        slot = _WorkerSlot(index, replica)
+        slot.thread = threading.Thread(
+            target=self._work,
+            args=(slot,),
+            name=f"repro-serving-{index}",
+            daemon=True,
+        )
+        slot.thread.start()
+        return slot
 
-    def _forward_group(self, requests: List[Request], model: Module) -> None:
+    def _work(self, slot: _WorkerSlot) -> None:
+        try:
+            while True:
+                group = self._scheduler.next_group()
+                if group is None:
+                    break
+                slot.inflight = tuple(group)
+                slot.forward_started = time.monotonic()
+                self._forward_group(group, slot)
+                slot.inflight = ()
+                slot.forward_started = None
+                if slot.abandoned:
+                    # written off as hung while we were forwarding: a
+                    # replacement owns this slot now, so stop pulling groups
+                    return
+            slot.finished = True
+        except BaseException as exc:  # noqa: BLE001 - the supervisor owns recovery
+            # a crash (injected or real) leaves slot.inflight populated; the
+            # supervisor recovers those requests and restarts the slot.
+            # Swallow rather than re-raise: threading.excepthook would only
+            # spam stderr for a death that is handled.
+            slot.crash_exc = exc
+
+    def _forward_group(self, requests: List[Request], slot: _WorkerSlot) -> None:
+        model = slot.replica
         # transition every future to RUNNING; a request cancelled while it
         # waited in the queue is dropped here (and a RUNNING future can no
-        # longer be cancelled, so set_result/set_exception below cannot hit
-        # InvalidStateError and kill the worker thread)
-        requests = [r for r in requests if r.future.set_running_or_notify_cancel()]
+        # longer be cancelled, so resolving it below cannot hit
+        # InvalidStateError and kill the worker thread).  A retried request
+        # was claimed on its first attempt; claim() only checks liveness then.
+        requests = [r for r in requests if r.claim()]
+        slot.inflight = tuple(requests)
         if not requests:
             return
         started = time.monotonic()
@@ -527,6 +758,7 @@ class ServingEngine:
         padded = samples[0].ndim >= 2 and len(set(lengths)) > 1
         forward_s = None
         try:
+            faults.fire("engine.forward", worker=slot.index, group_size=len(requests))
             if padded:
                 target = max(lengths)
                 stacked = np.full(
@@ -548,14 +780,14 @@ class ServingEngine:
                     f"model returned leading dimension {output.shape[0]} for a batch of "
                     f"{len(samples)} requests; the served model must preserve the batch axis"
                 )
-        except BaseException as exc:  # noqa: BLE001 - failures belong to the futures
+        except Exception as exc:  # noqa: BLE001 - ordinary failures belong to the futures
+            # (BaseException — an injected or real crash — escapes to _work
+            # and kills the worker; the supervisor recovers slot.inflight)
             with self._lock:
-                self._stats["failed_requests"] += len(requests)
                 self._queue_wait_s.extend(waits)
                 if forward_s is not None:
                     self._forward_s.append(forward_s)
-            for request in requests:
-                request.future.set_exception(exc)
+            self._recover_group(requests, exc)
             return
         # count the batch before resolving any future: a client unblocked by
         # set_result may read .stats immediately and must see this batch
@@ -571,7 +803,7 @@ class ServingEngine:
             row = output[index]
             if padded and self.slice_padded_outputs:
                 if row.ndim < 1 or row.shape[0] != stacked.shape[1]:
-                    request.future.set_exception(
+                    request.fail(
                         RuntimeError(
                             f"padded group output has leading shape {row.shape}, expected "
                             f"length {stacked.shape[1]}; the served model does not preserve "
@@ -581,4 +813,124 @@ class ServingEngine:
                     )
                     continue
                 row = row[: lengths[index]]
-            request.future.set_result(row)
+            request.succeed(row)
+
+    # ------------------------------------------------------------------
+    # supervision: crash/hang detection, retry with backoff, restart
+    # ------------------------------------------------------------------
+    def _recover_group(self, requests: Sequence[Request], exc: BaseException) -> None:
+        """Route a failed group: requeue requests with retry budget, fail the rest.
+
+        ``exc`` is what exhausted-budget futures reject with — the original
+        exception for an ordinary forward error, or a
+        :class:`~repro.serving.errors.WorkerCrashed` (cause attached) from
+        the supervisor's crash/hang paths.
+        """
+        retried: List[Request] = []
+        failed = 0
+        for request in requests:
+            if request.future.done():
+                continue  # e.g. resolved late by an abandoned-then-finished worker
+            if request.attempts < request.max_retries:
+                retried.append(request)
+            else:
+                failed += request.fail(exc)
+        if failed:
+            with self._lock:
+                self._stats["failed_requests"] += failed
+        if not retried:
+            return
+        now = time.monotonic()
+        with self._lock:
+            for request in retried:
+                request.attempts += 1
+                delay = request.retry_backoff_s * (2 ** (request.attempts - 1))
+                heapq.heappush(
+                    self._retry_heap, (now + delay, next(self._retry_seq), request)
+                )
+                self._stats["retried_requests"] += 1
+
+    def _flush_due_retries(self, now: float) -> None:
+        due: List[Request] = []
+        with self._lock:
+            while self._retry_heap and self._retry_heap[0][0] <= now:
+                due.append(heapq.heappop(self._retry_heap)[2])
+        for request in due:
+            if request.future.done():
+                continue  # cancelled or resolved while backing off
+            try:
+                self._scheduler.add(request)
+            except (EngineClosed, QueueFull) as exc:
+                error: BaseException = exc
+                if isinstance(exc, EngineClosed):
+                    error = WorkerCrashed(
+                        "engine closed before this request's retry could be requeued"
+                    )
+                if request.fail(error):
+                    with self._lock:
+                        self._stats["failed_requests"] += 1
+
+    def _replace_slot(self, slot: _WorkerSlot) -> None:
+        replacement = self._start_slot(slot.index, slot.replica)
+        with self._lock:
+            self._stats["worker_restarts"] += 1
+            for position, existing in enumerate(self._slots):
+                if existing is slot:
+                    self._slots[position] = replacement
+                    break
+
+    def _supervise(self) -> None:
+        while not self._stop_supervisor.wait(self.supervision_interval_s):
+            try:
+                self._supervise_once(time.monotonic())
+            except Exception:  # noqa: BLE001 - supervision must outlive one bad sweep
+                continue
+
+    def _supervise_once(self, now: float) -> None:
+        self._flush_due_retries(now)
+        for slot in list(self._slots):
+            if slot.abandoned or slot.finished:
+                continue
+            thread = slot.thread
+            if thread is not None and thread.is_alive():
+                if (
+                    self.hung_forward_timeout_s is not None
+                    and slot.forward_started is not None
+                    and now - slot.forward_started > self.hung_forward_timeout_s
+                ):
+                    self._abandon_hung_slot(slot)
+                continue
+            self._recover_crashed_slot(slot)
+
+    def _abandon_hung_slot(self, slot: _WorkerSlot) -> None:
+        """Write off a worker stuck in one forward; a replacement takes its slot.
+
+        The hung thread itself cannot be killed — it is left to finish (or
+        never finish) as a zombie that stops pulling groups.  If it does
+        finish, its late results lose the future-resolution race harmlessly:
+        recovered requests were either failed (fail wins) or requeued (a
+        late success just resolves the future first, bit-identically).
+        """
+        slot.abandoned = True
+        inflight, slot.inflight = list(slot.inflight), ()
+        with self._lock:
+            self._stats["hung_workers"] += 1
+            self._stats["worker_crashes"] += 1
+        error = WorkerCrashed(
+            f"worker {slot.index} abandoned as hung: forward exceeded "
+            f"{self.hung_forward_timeout_s * 1e3:.0f} ms"
+        )
+        self._recover_group(inflight, error)
+        if self.restart_crashed_workers:
+            self._replace_slot(slot)
+
+    def _recover_crashed_slot(self, slot: _WorkerSlot) -> None:
+        slot.finished = True  # handled: never recover the same death twice
+        inflight, slot.inflight = list(slot.inflight), ()
+        with self._lock:
+            self._stats["worker_crashes"] += 1
+        error = WorkerCrashed(f"worker {slot.index} died mid-forward")
+        error.__cause__ = slot.crash_exc
+        self._recover_group(inflight, error)
+        if self.restart_crashed_workers:
+            self._replace_slot(slot)

@@ -1,0 +1,93 @@
+"""Structured exception taxonomy for the serving stack.
+
+Failure behaviour is part of the serving API: a caller sizing retry budgets
+or shedding thresholds needs to branch on *why* a request failed, not parse
+ad-hoc ``RuntimeError`` messages.  Every failure the engine can hand a caller
+derives from :class:`ServingError`:
+
+============================  ====================================================
+exception                     meaning
+============================  ====================================================
+:class:`EngineClosed`         submitted to an engine after ``close()``
+:class:`EngineDraining`       submitted while the engine drains toward shutdown
+:class:`QueueFull`            queue-depth cap hit; request rejected at admission
+:class:`RequestShed`          an *already queued* request was evicted to admit
+                              higher-priority traffic under sustained overload
+:class:`DeadlineExceeded`     queue-time deadline passed before a forward started
+:class:`WorkerCrashed`        the worker (or generation tick thread) serving the
+                              request died and its retry budget is exhausted
+:class:`PrefetchError`        a background block-decode worker failed; chained
+                              ``from`` the original decode exception
+============================  ====================================================
+
+:class:`ServingError` subclasses ``RuntimeError`` so pre-taxonomy callers
+that caught ``RuntimeError`` keep working; :class:`DeadlineExceeded` also
+subclasses ``TimeoutError`` (its historical base), and :class:`QueueFull` /
+:class:`RequestShed` describe the two sides of overload control — fast-fail
+at admission versus eviction of queued lower-class work.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "EngineClosed",
+    "EngineDraining",
+    "QueueFull",
+    "RequestShed",
+    "DeadlineExceeded",
+    "WorkerCrashed",
+    "PrefetchError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of every typed failure the serving stack raises."""
+
+
+class EngineClosed(ServingError):
+    """The engine (or scheduler/driver) was closed before the request arrived."""
+
+
+class EngineDraining(ServingError):
+    """The engine is draining queued work toward shutdown; admission is off."""
+
+
+class QueueFull(ServingError):
+    """Admission rejected the request: the bounded queue is at capacity.
+
+    Fast-fail overload behaviour — an unbounded queue accepts work it can
+    never serve, so a full queue refuses new work immediately instead of
+    growing latency without bound.
+    """
+
+
+class RequestShed(ServingError):
+    """A queued request was evicted to admit higher-priority traffic.
+
+    Under sustained overload the scheduler sheds the lowest priority class
+    first; work that already *started* a forward is never shed.
+    """
+
+
+class DeadlineExceeded(ServingError, TimeoutError):
+    """The request's deadline passed before a worker could start its forward."""
+
+
+class WorkerCrashed(ServingError):
+    """The thread serving this request died and retries are exhausted.
+
+    Raised by futures/streams whose worker (engine worker thread or the
+    generation tick thread) crashed mid-forward, by ``close()`` for requests
+    a dead worker could not drain, and by submissions to a crashed
+    generation driver.  ``__cause__`` carries the crashing exception when it
+    was observable.
+    """
+
+
+class PrefetchError(ServingError):
+    """A background block-decode (prefetch) worker failed.
+
+    Chained ``from`` the original exception raised in the worker thread, so
+    the decode traceback survives the thread hop.
+    """

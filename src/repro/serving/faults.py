@@ -1,0 +1,244 @@
+"""Deterministic, seedable fault injection for the serving and storage stacks.
+
+Every recovery path in the resilience layer — worker supervision and restart,
+retry with backoff, generation-driver crash propagation, prefetch error
+relay, checkpoint integrity — is exercised by *injecting* its failure at a
+named site rather than hoping for one.  A :class:`FaultInjector` holds a
+site → :class:`FaultSpec` table; instrumented code calls :func:`fire` at each
+site and the active injector decides, deterministically, whether that call
+crashes, stalls, errors or corrupts.
+
+Sites instrumented in this package (callers may add their own):
+
+=======================  ====================================================
+site                     fired
+=======================  ====================================================
+``engine.forward``       in an engine worker, after its group's futures are
+                         RUNNING, just before the model call
+``generation.tick``      in the generation driver, just before each
+                         ``forward_step``
+``prefetch.decode``      in a prefetch worker, before each block decode
+``container.read_span``  per payload span on a copied checkpoint read, with
+                         ``buffer=`` the mutable span bytes (``corrupt``
+                         flips one byte, exercising integrity verification)
+=======================  ====================================================
+
+Fault kinds:
+
+* ``"crash"`` — raises :class:`InjectedCrash`, a ``BaseException`` that
+  passes through ``except Exception`` handlers and kills the worker thread,
+  modelling a worker death mid-forward;
+* ``"error"`` — raises :class:`InjectedError` (an ordinary ``RuntimeError``),
+  modelling a transient compute failure the retry path should absorb;
+* ``"slow"`` — sleeps ``delay_s``, modelling a hung/slow forward for
+  heartbeat supervision to detect;
+* ``"corrupt"`` — flips one byte of the ``buffer=`` keyword argument
+  (bytearray or writable uint8 array), modelling a corrupted span read.
+
+Determinism: ``on_calls={3}`` fires on exactly the 3rd call to that site
+(1-based, counted per site across all threads), so a test provokes a crash
+mid-stream reproducibly; ``probability`` draws from a ``random.Random(seed)``
+owned by the injector, so a chaos bench is seed-reproducible too.
+
+Install an injector process-wide with :func:`install` / :func:`uninstall`,
+or scoped with the :func:`injected` context manager.  With no injector
+installed :func:`fire` is a single attribute check — the instrumented hot
+paths pay nothing in production.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedError",
+    "install",
+    "uninstall",
+    "active_injector",
+    "injected",
+    "fire",
+]
+
+_KINDS = ("crash", "error", "slow", "corrupt")
+
+
+class InjectedCrash(BaseException):
+    """An injected worker death: passes through ``except Exception`` handlers.
+
+    Deliberately **not** an ``Exception`` subclass — a crash models the thread
+    dying without running any recovery code of its own, so it must not be
+    absorbed by the per-request failure handlers that route ordinary errors
+    to futures.
+    """
+
+
+class InjectedError(RuntimeError):
+    """An injected transient compute error (ordinary, retryable)."""
+
+
+@dataclass
+class FaultSpec:
+    """One fault rule at one site.
+
+    Parameters
+    ----------
+    kind:
+        ``"crash"``, ``"error"``, ``"slow"`` or ``"corrupt"`` (see module
+        docstring).
+    probability:
+        Chance of firing per eligible call, drawn from the injector's seeded
+        RNG.  Defaults to 1.0 (always fire when eligible).
+    on_calls:
+        Optional explicit 1-based call indices (counted per site) at which
+        the fault fires — the deterministic trigger tests use.  When given,
+        ``probability`` applies only at those calls.
+    max_fires:
+        Stop firing after this many hits (e.g. one crash, then recovery runs
+        clean).  ``None`` = unlimited.
+    delay_s:
+        Sleep length for ``"slow"`` faults.
+    """
+
+    kind: str
+    probability: float = 1.0
+    on_calls: Optional[Iterable[int]] = None
+    max_fires: Optional[int] = None
+    delay_s: float = 0.05
+    #: internal fire counter (per spec)
+    fires: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+        if not 0.0 <= float(self.probability) <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+        if self.on_calls is not None:
+            self.on_calls = frozenset(int(c) for c in self.on_calls)
+        if self.max_fires is not None and int(self.max_fires) < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires!r}")
+
+
+class FaultInjector:
+    """A seedable site → fault table; thread-safe and deterministic.
+
+    ``faults`` maps site names to one :class:`FaultSpec` or a sequence of
+    them (evaluated in order; the first that fires wins).  ``calls`` and
+    ``fired`` expose per-site counters so tests can assert exactly which
+    faults ran.
+    """
+
+    def __init__(
+        self,
+        faults: Mapping[str, Union[FaultSpec, Iterable[FaultSpec]]],
+        seed: int = 0,
+    ) -> None:
+        self._faults: Dict[str, list] = {}
+        for site, specs in faults.items():
+            if isinstance(specs, FaultSpec):
+                specs = [specs]
+            specs = list(specs)
+            if not all(isinstance(spec, FaultSpec) for spec in specs):
+                raise TypeError(f"site {site!r}: every fault must be a FaultSpec")
+            self._faults[site] = specs
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.calls: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def fire(self, site: str, **ctx) -> None:
+        """Evaluate ``site``'s rules; may raise, sleep or mutate ``ctx``."""
+        with self._lock:
+            call = self.calls.get(site, 0) + 1
+            self.calls[site] = call
+            chosen = None
+            for spec in self._faults.get(site, ()):
+                if spec.max_fires is not None and spec.fires >= spec.max_fires:
+                    continue
+                if spec.on_calls is not None and call not in spec.on_calls:
+                    continue
+                if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                    continue
+                spec.fires += 1
+                self.fired[site] = self.fired.get(site, 0) + 1
+                chosen = spec
+                break
+        if chosen is None:
+            return
+        if chosen.kind == "slow":
+            time.sleep(chosen.delay_s)
+            return
+        if chosen.kind == "corrupt":
+            self._corrupt(site, call, ctx)
+            return
+        if chosen.kind == "error":
+            raise InjectedError(f"injected transient error at {site} (call {call})")
+        raise InjectedCrash(f"injected worker crash at {site} (call {call})")
+
+    def _corrupt(self, site: str, call: int, ctx: dict) -> None:
+        buffer = ctx.get("buffer")
+        if buffer is None or len(buffer) == 0:
+            return
+        with self._lock:
+            index = self._rng.randrange(len(buffer))
+        buffer[index] = buffer[index] ^ 0xFF
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultInjector] = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector (replaces any prior)."""
+    global _ACTIVE
+    if not isinstance(injector, FaultInjector):
+        raise TypeError(f"expected a FaultInjector, got {type(injector).__name__}")
+    with _INSTALL_LOCK:
+        _ACTIVE = injector
+        # the container's copied-read loop lives below the serving package and
+        # must not import it; hand it the fire hook instead
+        from repro.serialization import container
+
+        container.set_fault_hook(fire)
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (instrumented sites become no-ops again)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = None
+        from repro.serialization import container
+
+        container.set_fault_hook(None)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injected(faults: Mapping[str, Union[FaultSpec, Iterable[FaultSpec]]], seed: int = 0):
+    """Scoped installation: ``with injected({...}) as injector: ...``."""
+    injector = install(FaultInjector(faults, seed=seed))
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def fire(site: str, **ctx) -> None:
+    """Fire ``site`` on the active injector; free no-op when none installed."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fire(site, **ctx)

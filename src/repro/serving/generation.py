@@ -39,7 +39,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.autograd.tensor import no_grad
+from repro.serving import faults
 from repro.serving.api import GenerationRequest
+from repro.serving.errors import EngineClosed, QueueFull, RequestShed, WorkerCrashed
 from repro.serving.scheduler import DeadlineExceeded, TokenScheduler
 
 __all__ = [
@@ -270,6 +272,18 @@ class GenerationDriver:
     Submissions landing while a forward runs are queued by the scheduler and
     admitted next tick, so prefills co-batch with in-flight decodes instead of
     waiting for a drain.
+
+    Failure behaviour: a tick-thread death (injected via the
+    ``"generation.tick"`` fault site, or real) fails **every** open session
+    with :class:`~repro.serving.errors.WorkerCrashed` — futures reject and
+    streams terminate with the error instead of hanging — and the driver
+    reports :attr:`crashed` so the engine builds a fresh one for later
+    arrivals.  An *ordinary* forward exception stays scoped to the storage
+    group that raised it: its sessions fail with the original exception,
+    other storage kinds keep decoding.  ``max_waiting`` bounds the waiting
+    queue (:class:`~repro.serving.errors.QueueFull` fast-fail, or shedding of
+    a strictly lower-priority waiting session, which fails with
+    :class:`~repro.serving.errors.RequestShed`).
     """
 
     def __init__(
@@ -278,6 +292,7 @@ class GenerationDriver:
         slots: int = 16,
         admission: str = "continuous",
         memory_budget: Optional[int] = None,
+        max_waiting: Optional[int] = None,
     ) -> None:
         if not hasattr(model, "forward_step") or not hasattr(model, "new_decode_state"):
             raise TypeError(
@@ -288,11 +303,12 @@ class GenerationDriver:
         if memory_budget is not None:
             probe = model.new_decode_state(1, storage="float32")
             slots = min(int(slots), max(1, int(memory_budget) // max(1, probe.row_nbytes)))
-        self._scheduler = TokenScheduler(int(slots), admission=admission)
+        self._scheduler = TokenScheduler(int(slots), admission=admission, max_waiting=max_waiting)
         self._pools: Dict[str, DecodeStatePool] = {}
         self._cond = threading.Condition()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._crash_exc: Optional[BaseException] = None
         self._order = itertools.count()
         self._stats = {
             "slots": int(slots),
@@ -303,6 +319,8 @@ class GenerationDriver:
             "preemptions": 0,
             "restores": 0,
             "expired": 0,
+            "shed": 0,
+            "tick_failures": 0,
         }
         self._prefill_s: List[float] = []
         self._decode_s: List[float] = []
@@ -312,7 +330,14 @@ class GenerationDriver:
     # producer side
     # ------------------------------------------------------------------
     def submit(self, prompt: np.ndarray, request: GenerationRequest) -> GenerationSession:
-        """Queue one generation; the session carries its future/stream."""
+        """Queue one generation; the session carries its future/stream.
+
+        Raises :class:`~repro.serving.errors.EngineClosed` after
+        :meth:`close`, :class:`~repro.serving.errors.WorkerCrashed` if the
+        tick thread died (the engine replaces crashed drivers, so only direct
+        driver users see this), and :class:`~repro.serving.errors.QueueFull`
+        at the ``max_waiting`` cap.
+        """
         stream = GenerationStream() if request.stream else None
         future = None if request.stream else Future()
         deadline = None
@@ -320,27 +345,58 @@ class GenerationDriver:
             deadline = time.monotonic() + request.deadline_ms / 1000.0
         with self._cond:
             if self._closed:
-                raise RuntimeError("cannot submit to a closed GenerationDriver")
+                raise EngineClosed("cannot submit to a closed GenerationDriver")
+            if self._crash_exc is not None:
+                error = WorkerCrashed("cannot submit: the generation tick thread crashed")
+                error.__cause__ = self._crash_exc
+                raise error
             session = GenerationSession(
                 prompt, request, future, stream, next(self._order), deadline
             )
-            self._scheduler.add(session)
+            victim = self._scheduler.add(session)
+            if victim is not None:
+                self._stats["shed"] += 1
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._run, name="repro-generation-driver", daemon=True
                 )
                 self._thread.start()
             self._cond.notify_all()
+        if victim is not None:
+            # resolve outside the lock: future/stream delivery runs client code
+            victim.fail(
+                RequestShed(
+                    "generation request shed while waiting: queue at depth cap and "
+                    "higher-priority traffic arrived"
+                )
+            )
         return session
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop admission of new requests and drain in-flight generations."""
+        """Stop admission of new requests and drain in-flight generations.
+
+        If the tick thread cannot drain within ``timeout`` (hung forward) or
+        already crashed, every still-open session fails with
+        :class:`~repro.serving.errors.WorkerCrashed` — close never returns
+        with a hung future or stream outstanding.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
             thread = self._thread
         if thread is not None:
             thread.join(timeout=timeout)
+            if thread.is_alive():
+                self._fail_open_sessions(
+                    WorkerCrashed(
+                        "generation driver could not drain before the close timeout"
+                    )
+                )
+
+    @property
+    def crashed(self) -> bool:
+        """True once the tick thread died; open sessions were already failed."""
+        return self._crash_exc is not None
 
     @property
     def stats(self) -> dict:
@@ -367,6 +423,32 @@ class GenerationDriver:
         return self._pools[storage]
 
     def _run(self) -> None:
+        try:
+            self._run_loop()
+        except BaseException as exc:  # noqa: BLE001 - a dead tick thread must not hang sessions
+            self._on_crash(exc)
+
+    def _on_crash(self, exc: BaseException) -> None:
+        """Tick-thread death: fail every open session instead of hanging it."""
+        with self._cond:
+            self._crash_exc = exc
+            self._cond.notify_all()
+        error = WorkerCrashed("generation tick thread died; this session cannot finish")
+        error.__cause__ = exc
+        self._fail_open_sessions(error)
+
+    def _fail_open_sessions(self, error: BaseException) -> None:
+        with self._cond:
+            open_sessions = list(self._scheduler.waiting) + list(self._scheduler.running)
+            for session in open_sessions:
+                self._scheduler.discard(session)
+                if session.rows is not None:
+                    self._pool(session.storage).release(session.rows)
+                    session.rows = None
+        for session in open_sessions:
+            session.fail(error)
+
+    def _run_loop(self) -> None:
         while True:
             with self._cond:
                 while True:
@@ -407,9 +489,30 @@ class GenerationDriver:
             by_storage.setdefault(session.storage, []).append(session)
         finished: List[GenerationSession] = []
         for storage, sessions in by_storage.items():
-            self._tick_storage(storage, sessions, finished)
+            try:
+                self._tick_storage(storage, sessions, finished)
+            except Exception as exc:  # noqa: BLE001 - scoped: other storages keep decoding
+                self._fail_storage_group(sessions, finished, exc)
         for session in finished:
             session.resolve()
+
+    def _fail_storage_group(
+        self,
+        sessions: List[GenerationSession],
+        finished: List[GenerationSession],
+        exc: Exception,
+    ) -> None:
+        """One storage group's forward failed: fail exactly its open sessions."""
+        failed = [s for s in sessions if s not in finished]
+        with self._cond:
+            self._stats["tick_failures"] += 1
+            for session in failed:
+                self._scheduler.discard(session)
+                if session.rows is not None:
+                    self._pool(session.storage).release(session.rows)
+                    session.rows = None
+        for session in failed:
+            session.fail(exc)
 
     def _tick_storage(
         self,
@@ -433,6 +536,7 @@ class GenerationDriver:
         tokens = np.zeros((len(inputs), width), dtype=np.int64)
         for i, ids in enumerate(inputs):
             tokens[i, : len(ids)] = ids
+        faults.fire("generation.tick", storage=storage, batch=len(inputs))
         start = time.perf_counter()
         with no_grad():
             logits = self._model.forward_step(

@@ -17,9 +17,12 @@ sequential path, so prefetched outputs are bit-identical to non-prefetched
 streaming (and to cached mode, which shares the same codes).
 
 Worker failures propagate: an exception raised inside ``dequantize_block``
-re-raises in the consuming thread at the point of iteration.  Abandoning the
-iterator mid-stream (e.g. a caller error between blocks) stops the worker
-promptly via a shared event rather than leaking a blocked thread.
+surfaces in the consuming thread at the point of iteration as a
+:class:`~repro.serving.errors.PrefetchError` chained ``from`` the original
+exception — the worker-side traceback survives the thread hop instead of
+being flattened into a bare re-raise.  Abandoning the iterator mid-stream
+(e.g. a caller error between blocks) stops the worker promptly via a shared
+event rather than leaking a blocked thread.
 
 Cross-layer pipelining
 ----------------------
@@ -55,6 +58,8 @@ from typing import Iterable, Iterator, List, Tuple
 import numpy as np
 
 from repro.fp8.quantize import QuantizedTensor
+from repro.serving import faults
+from repro.serving.errors import PrefetchError
 
 __all__ = ["BlockPrefetcher", "PipelinePrefetcher"]
 
@@ -114,6 +119,7 @@ class BlockPrefetcher:
                 for start, stop_channel in self.spans():
                     if stop.is_set():
                         return
+                    faults.fire("prefetch.decode", start=start, stop=stop_channel)
                     block = self.tensor.dequantize_block(start, stop_channel, axis=self.axis)
                     if not _put((start, stop_channel, block)):
                         return
@@ -129,7 +135,9 @@ class BlockPrefetcher:
                 if item is _DONE:
                     return
                 if isinstance(item, BaseException):
-                    raise item
+                    # chain instead of bare-raising the worker's exception:
+                    # the decode traceback survives the thread hop as __cause__
+                    raise PrefetchError(f"block prefetch worker failed: {item}") from item
                 yield item
         finally:
             stop.set()
@@ -155,7 +163,7 @@ class _PipelineRun:
             if item is None:
                 return
             module, start, stop = item
-            future = pool.submit(module.weight_q.dequantize_block, start, stop)
+            future = pool.submit(self._pipeline._decode, module, start, stop)
             self._pending.append((module, start, stop, future))
 
     def expects(self, module) -> bool:
@@ -173,7 +181,11 @@ class _PipelineRun:
             # next layer's head blocks start decoding while this layer's
             # tail is still being consumed
             self._fill()
-            yield start, stop, future.result()
+            try:
+                block = future.result()
+            except Exception as exc:
+                raise PrefetchError(f"pipelined block decode failed: {exc}") from exc
+            yield start, stop, block
 
     def cancel(self) -> None:
         for *_, future in self._pending:
@@ -249,6 +261,10 @@ class PipelinePrefetcher:
         return run.consume(module)
 
     # ------------------------------------------------------------------
+    def _decode(self, module, start: int, stop: int) -> np.ndarray:
+        faults.fire("prefetch.decode", start=start, stop=stop)
+        return module.weight_q.dequantize_block(start, stop)
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:

@@ -28,6 +28,17 @@ tight-deadline request starts before its deadline, and a request whose
 deadline passes while still queued fails with :class:`DeadlineExceeded`
 instead of silently running late.
 
+Overload control
+----------------
+An unbounded queue accepts work it can never serve; ``max_queue_depth``
+bounds it.  At the cap, admission either fast-fails the new request with
+:class:`~repro.serving.errors.QueueFull` (``shed_policy="reject"``) or, with
+``shed_policy="priority"``, evicts the least urgent *strictly lower-priority*
+queued request (failing its future with
+:class:`~repro.serving.errors.RequestShed`) to admit the newcomer — the
+lowest priority class is shed first, and work already handed to a worker is
+never shed, so admitted work is never starved by arrivals.
+
 The scheduler is engine-agnostic: it never touches models or samples, only
 :class:`Request` records, and any number of worker threads may block in
 :meth:`~ContinuousScheduler.next_group` concurrently.
@@ -43,6 +54,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.serving.errors import DeadlineExceeded, EngineClosed, QueueFull, RequestShed
+
 __all__ = [
     "DeadlineExceeded",
     "Request",
@@ -54,10 +67,6 @@ __all__ = [
 #: how far ahead of a deadline the admission window closes, so the forward
 #: can start before the deadline instead of expiring exactly on it
 _DEADLINE_GUARD_S = 0.002
-
-
-class DeadlineExceeded(TimeoutError):
-    """The request's deadline passed before a worker could start its forward."""
 
 
 def compat_key(sample: np.ndarray) -> Tuple:
@@ -73,9 +82,27 @@ def compat_key(sample: np.ndarray) -> Tuple:
 
 
 class Request:
-    """One queued sample plus its future and scheduling attributes."""
+    """One queued sample plus its future and scheduling attributes.
 
-    __slots__ = ("sample", "future", "priority", "deadline", "submitted", "key", "order")
+    ``max_retries``/``retry_backoff_s`` carry the caller's retry budget for
+    idempotent forwards; ``attempts`` counts requeues so far and ``claimed``
+    records that the future already transitioned to RUNNING on an earlier
+    attempt (a RUNNING future must not be transitioned twice).
+    """
+
+    __slots__ = (
+        "sample",
+        "future",
+        "priority",
+        "deadline",
+        "submitted",
+        "key",
+        "order",
+        "max_retries",
+        "retry_backoff_s",
+        "attempts",
+        "claimed",
+    )
 
     def __init__(
         self,
@@ -86,6 +113,8 @@ class Request:
         submitted: Optional[float] = None,
         key: Optional[Tuple] = None,
         order: int = 0,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.025,
     ) -> None:
         self.sample = sample
         self.future = future
@@ -94,6 +123,10 @@ class Request:
         self.submitted = time.monotonic() if submitted is None else submitted
         self.key = compat_key(sample) if key is None else key
         self.order = order
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.attempts = 0
+        self.claimed = False
 
     def urgency(self) -> Tuple[int, float, int]:
         """Sort key: higher priority, then earlier deadline, then arrival order."""
@@ -106,12 +139,40 @@ class Request:
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
 
+    def claim(self) -> bool:
+        """Transition the future to RUNNING; False if cancelled or resolved.
+
+        A request requeued by the retry path was already RUNNING on its first
+        attempt — ``claimed`` short-circuits the (single-shot) state
+        transition so a retried request is simply checked for liveness.
+        """
+        if self.claimed:
+            return not self.future.done()
+        self.claimed = self.future.set_running_or_notify_cancel()
+        return self.claimed
+
+    def succeed(self, result) -> bool:
+        """Resolve the future with ``result``; False if it was already resolved.
+
+        A future can race two resolvers — e.g. an abandoned hung worker
+        completing after the supervisor already failed its group — so losing
+        the race is reported, never raised.
+        """
+        try:
+            self.future.set_result(result)
+            return True
+        except Exception:
+            return False
+
     def fail(self, exc: BaseException) -> bool:
-        """Resolve the future with ``exc`` unless it was already cancelled."""
-        if self.future.set_running_or_notify_cancel():
+        """Resolve the future with ``exc`` unless it was already cancelled/resolved."""
+        if not self.claim():
+            return False
+        try:
             self.future.set_exception(exc)
             return True
-        return False
+        except Exception:
+            return False
 
 
 class ContinuousScheduler:
@@ -127,6 +188,18 @@ class ContinuousScheduler:
     on_expired:
         Optional callback invoked with the number of requests that were failed
         with :class:`DeadlineExceeded` (used by the engine's stats).
+    max_queue_depth:
+        Optional cap on total queued (not yet handed out) requests.  At the
+        cap, :meth:`add` applies ``shed_policy``.
+    shed_policy:
+        ``"reject"`` (default): a request arriving at a full queue fast-fails
+        with :class:`~repro.serving.errors.QueueFull`.  ``"priority"``: if a
+        strictly lower-priority request is queued, the least urgent such
+        request is shed (its future fails with
+        :class:`~repro.serving.errors.RequestShed`) and the newcomer is
+        admitted; otherwise the newcomer is rejected.
+    on_shed:
+        Optional callback invoked with the number of requests shed.
     """
 
     def __init__(
@@ -134,14 +207,24 @@ class ContinuousScheduler:
         max_batch_size: int,
         max_wait_s: float,
         on_expired: Optional[Callable[[int], None]] = None,
+        max_queue_depth: Optional[int] = None,
+        shed_policy: str = "reject",
+        on_shed: Optional[Callable[[int], None]] = None,
     ) -> None:
         if int(max_batch_size) < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size!r}")
         if max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s!r}")
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth!r}")
+        if shed_policy not in ("reject", "priority"):
+            raise ValueError(f"shed_policy must be 'reject' or 'priority', got {shed_policy!r}")
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
+        self.shed_policy = shed_policy
         self._on_expired = on_expired
+        self._on_shed = on_shed
         self._cond = threading.Condition()
         self._buckets: Dict[Tuple, List[Request]] = {}
         #: when each bucket's admission window opened = the arrival time of
@@ -151,16 +234,31 @@ class ContinuousScheduler:
         #: scheduling decision is O(buckets), not O(total pending requests);
         #: maintained incrementally on add, recomputed from leftovers on pop
         self._meta: Dict[Tuple, Tuple] = {}
+        self._pending = 0
         self._closed = False
 
     # ------------------------------------------------------------------
     # producer side
     # ------------------------------------------------------------------
     def add(self, request: Request) -> None:
-        """Admit one request into its compatibility bucket (wakes waiting workers)."""
+        """Admit one request into its compatibility bucket (wakes waiting workers).
+
+        Raises :class:`~repro.serving.errors.QueueFull` at the queue-depth
+        cap (after shedding a lower-priority victim instead, under
+        ``shed_policy="priority"``, when one exists).
+        """
+        victim: Optional[Request] = None
         with self._cond:
             if self._closed:
-                raise RuntimeError("cannot add to a closed scheduler")
+                raise EngineClosed("cannot add to a closed scheduler")
+            if self.max_queue_depth is not None and self._pending >= self.max_queue_depth:
+                victim = self._shed_victim_locked(request)
+                if victim is None:
+                    raise QueueFull(
+                        f"serving queue is at its depth cap ({self.max_queue_depth} "
+                        f"pending requests); request rejected"
+                    )
+                self._remove_locked(victim)
             bucket = self._buckets.setdefault(request.key, [])
             if not bucket:
                 self._opened[request.key] = request.submitted
@@ -173,7 +271,50 @@ class ContinuousScheduler:
                     )
                 self._meta[request.key] = (min(urgency, request.urgency()), deadline)
             bucket.append(request)
+            self._pending += 1
             self._cond.notify_all()
+        if victim is not None:
+            # resolve outside the lock: future resolution may run client code
+            shed = victim.fail(
+                RequestShed(
+                    f"request shed after {time.monotonic() - victim.submitted:.3f}s queued: "
+                    f"queue at depth cap and higher-priority traffic arrived"
+                )
+            )
+            if shed and self._on_shed is not None:
+                self._on_shed(1)
+
+    def _shed_victim_locked(self, incoming: Request) -> Optional[Request]:
+        """The least urgent queued request strictly below ``incoming``'s priority."""
+        if self.shed_policy != "priority":
+            return None
+        victim: Optional[Request] = None
+        for bucket in self._buckets.values():
+            for queued in bucket:
+                if queued.priority >= incoming.priority:
+                    continue
+                if victim is None or queued.urgency() > victim.urgency():
+                    victim = queued
+        return victim
+
+    def _remove_locked(self, request: Request) -> None:
+        """Drop one queued request, repairing its bucket's window/meta caches."""
+        bucket = self._buckets.get(request.key)
+        if bucket is None or request not in bucket:
+            return
+        bucket.remove(request)
+        self._pending -= 1
+        if bucket:
+            self._opened[request.key] = min(r.submitted for r in bucket)
+            deadlines = [r.deadline for r in bucket if r.deadline is not None]
+            self._meta[request.key] = (
+                min(r.urgency() for r in bucket),
+                min(deadlines) if deadlines else None,
+            )
+        else:
+            del self._buckets[request.key]
+            self._opened.pop(request.key, None)
+            self._meta.pop(request.key, None)
 
     def close(self) -> None:
         """Stop admission; queued requests stay servable until drained."""
@@ -181,9 +322,25 @@ class ContinuousScheduler:
             self._closed = True
             self._cond.notify_all()
 
+    def drain_pending(self) -> List[Request]:
+        """Remove and return every queued request (the close-timeout path).
+
+        Used when draining can no longer make progress (e.g. worker death at
+        shutdown): the caller owns the returned requests and must resolve
+        their futures.
+        """
+        with self._cond:
+            leftovers = [r for bucket in self._buckets.values() for r in bucket]
+            self._buckets.clear()
+            self._opened.clear()
+            self._meta.clear()
+            self._pending = 0
+            self._cond.notify_all()
+        return leftovers
+
     def pending(self) -> int:
         with self._cond:
-            return sum(len(bucket) for bucket in self._buckets.values())
+            return self._pending
 
     # ------------------------------------------------------------------
     # consumer side (worker threads)
@@ -265,6 +422,7 @@ class ContinuousScheduler:
         dropped = [r for r in bucket if r.expired(now)]
         alive.sort(key=Request.urgency)
         group, rest = alive[: self.max_batch_size], alive[self.max_batch_size :]
+        self._pending -= len(group) + len(dropped)
         if rest:
             self._buckets[key] = rest
             # the leftovers' window stays anchored to their own arrival — a
@@ -312,13 +470,21 @@ class TokenScheduler:
     under its own lock.
     """
 
-    def __init__(self, total_slots: int, admission: str = "continuous") -> None:
+    def __init__(
+        self,
+        total_slots: int,
+        admission: str = "continuous",
+        max_waiting: Optional[int] = None,
+    ) -> None:
         if int(total_slots) < 1:
             raise ValueError(f"total_slots must be >= 1, got {total_slots!r}")
         if admission not in ("continuous", "drain"):
             raise ValueError(f"admission must be 'continuous' or 'drain', got {admission!r}")
+        if max_waiting is not None and int(max_waiting) < 1:
+            raise ValueError(f"max_waiting must be >= 1, got {max_waiting!r}")
         self.total_slots = int(total_slots)
         self.admission = admission
+        self.max_waiting = None if max_waiting is None else int(max_waiting)
         self._waiting: List = []
         self._running: List = []
 
@@ -338,14 +504,35 @@ class TokenScheduler:
     def running(self) -> List:
         return list(self._running)
 
-    def add(self, item) -> None:
-        """Queue a session for admission (it needs ``item.slots`` rows)."""
+    def add(self, item):
+        """Queue a session for admission (it needs ``item.slots`` rows).
+
+        With a ``max_waiting`` cap, a full waiting queue either sheds the
+        least urgent strictly lower-priority waiting session — returned to
+        the caller, which owes its future a
+        :class:`~repro.serving.errors.RequestShed` — or raises
+        :class:`~repro.serving.errors.QueueFull` for the newcomer.  Running
+        sessions are never shed by admission pressure (preemption in
+        :meth:`plan` is the only path that pauses running work, and it keeps
+        the session queued).  Returns the shed session, or ``None``.
+        """
         if item.slots > self.total_slots:
             raise ValueError(
                 f"session needs {item.slots} slots but the scheduler only has "
                 f"{self.total_slots}; raise decode_slots or lower beam_size"
             )
+        victim = None
+        if self.max_waiting is not None and len(self._waiting) >= self.max_waiting:
+            candidates = [s for s in self._waiting if s.priority < item.priority]
+            if not candidates:
+                raise QueueFull(
+                    f"generation queue is at its depth cap ({self.max_waiting} waiting "
+                    f"sessions); request rejected"
+                )
+            victim = max(candidates, key=self._urgency)
+            self._waiting.remove(victim)
         self._waiting.append(item)
+        return victim
 
     def on_finished(self, item) -> None:
         """Release a completed (or failed) running session's slots."""

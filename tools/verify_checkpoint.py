@@ -1,0 +1,61 @@
+"""Offline checkpoint scrubber: verify every payload span's integrity digest.
+
+Version-2 containers record a crc32 per payload span (see
+``repro.serialization.container``); serving verifies them at load (copied) or
+first touch (mmap).  This tool is the third leg: scrub checkpoints **at
+rest** — after a transfer, on a cron over a model store, before promoting a
+build — without constructing any model.  It streams each span through crc32,
+so peak memory is one read chunk regardless of checkpoint size.
+
+Usage::
+
+    python tools/verify_checkpoint.py model.rpq [more.rpq ...] [--json]
+
+Exit status: 0 if every file verifies (version-1 files, which carry no
+digests, count as ``skipped`` spans and pass), 1 on the first corrupt or
+structurally invalid file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.serialization.container import CheckpointError, ChecksumError, verify_container
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="packed checkpoint files (.rpq)")
+    parser.add_argument("--json", action="store_true", help="emit one JSON report per file")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        try:
+            report = verify_container(path)
+        except ChecksumError as exc:
+            print(f"CORRUPT  {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        except (CheckpointError, OSError) as exc:
+            print(f"INVALID  {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        else:
+            print(
+                f"OK       {path}: v{report['version']}, "
+                f"{report['verified']}/{report['arrays']} spans verified"
+                + (f" ({report['skipped']} without digests)" if report["skipped"] else "")
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
