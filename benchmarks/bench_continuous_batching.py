@@ -22,6 +22,13 @@ Plus the correctness anchor: engine outputs (multi-worker, deterministic
 groups) and pipelined streaming forwards are **bit-identical** to cached
 mode.
 
+PR 10 adds the **process-worker scaling** measurement: on a deep/narrow
+cached model whose forward is dominated by Python-level dispatch (small
+per-layer matmuls hold the GIL), ``worker_mode="process"`` must beat both
+``workers=1`` and the GIL-bound ``workers=4`` thread tier, and must land
+within a sane fraction of the measured per-core roofline
+(``single-worker rate x min(workers, cores)``).
+
 First-principles throughput ceilings (à la MLSYSIM): optimisations 2 and 3
 monetise thread parallelism of GIL-releasing numpy kernels, so their ceiling
 is ``min(workers, cores)``.  On a host with fewer cores than the gate
@@ -80,6 +87,15 @@ ACCEPTANCE_CONTINUOUS = float(os.environ.get("REPRO_BENCH_CB_MIN_SPEEDUP", 1.5))
 ACCEPTANCE_WORKERS = _gate("REPRO_BENCH_WORKERS_MIN_SPEEDUP", 2.0, 4, 0.80)
 #: pipelined decode needs >= 2 cores for parallel block decode
 ACCEPTANCE_PIPELINE = _gate("REPRO_BENCH_PIPELINE_MIN_SPEEDUP", 1.2, 2, 0.80)
+#: process workers escape the GIL, so 4 of them need >= 4 cores for 2x over a
+#: single worker; on fewer cores the gate only bounds the IPC overhead
+ACCEPTANCE_PROC = _gate("REPRO_BENCH_PROC_MIN_SPEEDUP", 2.0, 4, 0.55)
+#: on a GIL-bound forward, 4 processes must beat 4 threads outright (>= 4
+#: cores); a 1-core host runs both tiers serially, so only bound the gap
+ACCEPTANCE_PROC_VS_THREAD = _gate("REPRO_BENCH_PROC_VS_THREAD_MIN", 1.1, 4, 0.55)
+#: fraction of the measured per-core roofline (single rate x min(workers,
+#: cores)) the process fleet must reach — the MLSYSIM-style absolute floor
+ACCEPTANCE_PROC_ROOFLINE = _gate("REPRO_BENCH_PROC_ROOFLINE_FRACTION", 0.45, 4, 0.15)
 
 #: staggered-arrival scenario; the gap keeps arrivals faster than the drain
 #: baseline's service rate, so the makespan measures scheduling, not arrival
@@ -95,6 +111,14 @@ WORKER_FEATURES = 512
 WORKER_LAYERS = 4
 WORKER_COUNT = 4
 WORKER_REQUESTS = 128
+
+#: process-scaling scenario: deep/narrow *cached* MLP — per-layer matmuls too
+#: small to release the GIL for long, so thread workers serialise and the
+#: forward is CPU-bound in Python dispatch: the regime process workers target
+PROC_FEATURES = 64
+PROC_LAYERS = 16
+PROC_WORKERS = 4
+PROC_REQUESTS = 96
 
 #: pipeline scenario (>= 4 streaming layers, per the acceptance criteria)
 PIPELINE_FEATURES = 512
@@ -341,6 +365,128 @@ def measure_multi_worker():
     return rows, stats
 
 
+def _process_factory():
+    """Module-level on purpose: ``worker_mode="process"`` pickles the factory
+    by reference into every spawned worker."""
+    return _build_mlp(PROC_LAYERS, PROC_FEATURES, seed=31)
+
+
+def _process_checkpoint(tmp: str) -> str:
+    result = quantize_model(
+        _process_factory(),
+        standard_recipe("E4M3", approach=Approach.DYNAMIC),
+        deploy=True,
+    )
+    path = os.path.join(tmp, "process.rpq")
+    save_quantized(result.model, path, recipe=result.recipe)
+    return path
+
+
+def _wait_process_ready(engine: ServingEngine, timeout: float = 120.0) -> None:
+    """Block until every worker process reports ready (spawn + import is slow)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        details = engine.stats.get("process_workers") or []
+        if details and all(detail["ready"] for detail in details):
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"process workers never became ready: {engine.stats}")
+
+
+def measure_process_scaling():
+    """workers=4 processes vs 4 threads vs 1 worker on a GIL-bound cached model."""
+    rng = np.random.default_rng(37)
+    samples = [
+        rng.normal(0.0, 1.0, (PROC_FEATURES,)).astype(np.float32) for _ in range(PROC_REQUESTS)
+    ]
+    tiers = (
+        ("thread_1", 1, "thread"),
+        ("thread_4", PROC_WORKERS, "thread"),
+        ("process_4", PROC_WORKERS, "process"),
+    )
+    timings = {}
+    crashes = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-proc-") as tmp:
+        path = _process_checkpoint(tmp)
+        clear_mapping_cache()
+        try:
+            for label, workers, mode in tiers:
+                engine = ServingEngine.from_checkpoint(
+                    path,
+                    _process_factory,
+                    serving_mode="cached",
+                    prefetch=False,
+                    workers=workers,
+                    worker_mode=mode,
+                    max_batch_size=8,
+                    max_wait_ms=4.0,
+                )
+                if mode == "process":
+                    _wait_process_ready(engine)
+                engine.serve_batch(samples[:16], timeout=120)  # warmup
+                timings[label] = min(_burst_throughput(engine, samples) for _ in range(3))
+                if mode == "process":
+                    crashes = engine.stats["worker_crashes"]
+                engine.close()
+
+            # bit-identity anchor under process workers: deterministic full
+            # groups (same key, long admission window) vs the parent template
+            probe = samples[:8]
+            with ServingEngine.from_checkpoint(
+                path,
+                _process_factory,
+                serving_mode="cached",
+                prefetch=False,
+                workers=2,
+                worker_mode="process",
+                max_batch_size=8,
+                max_wait_ms=2000.0,
+            ) as engine:
+                _wait_process_ready(engine)
+                outputs = engine.serve_batch(probe, timeout=120)
+                with no_grad():
+                    reference = engine.model(Tensor(np.stack(probe))).data
+            matches = bool(np.array_equal(np.stack(outputs), reference))
+        finally:
+            clear_mapping_cache()
+
+    single_rate = PROC_REQUESTS / timings["thread_1"]
+    process_rate = PROC_REQUESTS / timings["process_4"]
+    roofline_rate = single_rate * min(PROC_WORKERS, _CORES)
+    stats = {
+        "requests": PROC_REQUESTS,
+        "cores": _CORES,
+        "workers": PROC_WORKERS,
+        "layers": PROC_LAYERS,
+        "features": PROC_FEATURES,
+        "thread_1_s": timings["thread_1"],
+        "thread_4_s": timings["thread_4"],
+        "process_4_s": timings["process_4"],
+        "thread_1_req_per_s": single_rate,
+        "thread_4_req_per_s": PROC_REQUESTS / timings["thread_4"],
+        "process_4_req_per_s": process_rate,
+        "proc_speedup_vs_single": timings["thread_1"] / timings["process_4"],
+        "proc_vs_thread_speedup": timings["thread_4"] / timings["process_4"],
+        "roofline_req_per_s": roofline_rate,
+        "roofline_fraction": process_rate / roofline_rate,
+        "process_matches_cached": matches,
+        "worker_crashes": int(crashes),
+    }
+    rows = [
+        {"Engine": "workers=1 (thread)", "Requests/s": f"{single_rate:,.1f}"},
+        {
+            "Engine": f"workers={PROC_WORKERS} (thread)",
+            "Requests/s": f"{stats['thread_4_req_per_s']:,.1f}",
+        },
+        {
+            "Engine": f"workers={PROC_WORKERS} (process)",
+            "Requests/s": f"{process_rate:,.1f}",
+            "Roofline": f"{stats['roofline_fraction'] * 100:.0f}% of {roofline_rate:,.1f}",
+        },
+    ]
+    return rows, stats
+
+
 def measure_pipeline_prefetch():
     """Cross-layer pipelined decode vs per-layer double-buffered prefetch."""
     model = _streaming_model(PIPELINE_LAYERS, PIPELINE_FEATURES, seed=19)
@@ -431,6 +577,9 @@ def main():
     worker_rows, worker_stats = measure_multi_worker()
     print()
     print(format_table(worker_rows, title=f"Multi-worker over one shared mmap ({_CORES} cores)"))
+    proc_rows, proc_stats = measure_process_scaling()
+    print()
+    print(format_table(proc_rows, title=f"Process-worker scaling ({_CORES} cores)"))
     pipe_rows, pipe_stats = measure_pipeline_prefetch()
     print()
     print(format_table(pipe_rows, title="Cross-layer pipelined prefetch"))
@@ -442,11 +591,12 @@ def main():
         {
             "continuous": cont_stats,
             "multi_worker": worker_stats,
+            "process_serving": proc_stats,
             "pipeline": pipe_stats,
             "identity": identity_stats,
         },
     )
-    return cont_stats, worker_stats, pipe_stats, identity_stats
+    return cont_stats, worker_stats, proc_stats, pipe_stats, identity_stats
 
 
 def test_continuous_batching_gate():
@@ -473,6 +623,30 @@ def test_multi_worker_gate():
     assert stats["speedup"] >= ACCEPTANCE_WORKERS, (
         f"workers={WORKER_COUNT} only {stats['speedup']:.2f}x over workers=1 on "
         f"{_CORES} cores (gate: >= {ACCEPTANCE_WORKERS}x)"
+    )
+
+
+def test_process_scaling_gate():
+    _, stats = measure_process_scaling()
+    record("process_serving", stats)
+    assert stats["process_matches_cached"], (
+        "process-worker engine outputs diverge from the parent cached-mode forward"
+    )
+    assert stats["worker_crashes"] == 0, (
+        f"{stats['worker_crashes']} worker crashes during a fault-free scaling run"
+    )
+    assert stats["proc_speedup_vs_single"] >= ACCEPTANCE_PROC, (
+        f"workers={PROC_WORKERS} processes only {stats['proc_speedup_vs_single']:.2f}x "
+        f"over workers=1 on {_CORES} cores (gate: >= {ACCEPTANCE_PROC}x)"
+    )
+    assert stats["proc_vs_thread_speedup"] >= ACCEPTANCE_PROC_VS_THREAD, (
+        f"processes only {stats['proc_vs_thread_speedup']:.2f}x over the thread tier "
+        f"on {_CORES} cores (gate: >= {ACCEPTANCE_PROC_VS_THREAD}x)"
+    )
+    assert stats["roofline_fraction"] >= ACCEPTANCE_PROC_ROOFLINE, (
+        f"process fleet reaches only {stats['roofline_fraction'] * 100:.0f}% of the "
+        f"measured per-core roofline ({stats['roofline_req_per_s']:,.1f} req/s; "
+        f"gate: >= {ACCEPTANCE_PROC_ROOFLINE * 100:.0f}%)"
     )
 
 

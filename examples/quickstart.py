@@ -82,6 +82,16 @@ def main() -> None:
         #    arrivals join the next forward of their in-flight compatibility
         #    group instead of waiting for a drain.  A deadline bounds each
         #    request's queue time; priorities would reorder admission.
+        #
+        #    To scale out, the same call grows a worker fleet:
+        #        ServingEngine.from_checkpoint(path, build_model, workers=4)
+        #    runs 4 worker threads over one shared mmap of the checkpoint, and
+        #        ServingEngine.from_checkpoint(path, build_model,
+        #                                      workers=4, worker_mode="process")
+        #    isolates each worker in its own process (crash containment +
+        #    GIL-free scaling; build_model must then be a module-level
+        #    callable, since each worker process rebuilds the model from the
+        #    checkpoint in its own address space).
         inputs = bundle.calib_data.inputs[:8]
         with ServingEngine(served, max_batch_size=8, max_wait_ms=5.0) as engine:
             futures = []

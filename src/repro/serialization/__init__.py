@@ -21,6 +21,7 @@ from repro.serialization.container import (
     CheckpointVersionError,
     ChecksumError,
     clear_mapping_cache,
+    mapping_cache_size,
     read_container,
     read_header,
     verify_container,
@@ -49,6 +50,7 @@ __all__ = [
     "read_header",
     "write_container",
     "clear_mapping_cache",
+    "mapping_cache_size",
     "flatten_state",
     "unflatten_state",
     "save_quantized",

@@ -63,6 +63,7 @@ __all__ = [
     "verify_container",
     "verify_view",
     "clear_mapping_cache",
+    "mapping_cache_size",
     "set_fault_hook",
 ]
 
@@ -184,6 +185,37 @@ def clear_mapping_cache() -> int:
         count = len(_MAPPINGS)
         _MAPPINGS.clear()
     return count
+
+
+def mapping_cache_size() -> int:
+    """How many shared file mappings this *process* currently caches.
+
+    The cache is strictly per-process (each serving worker process re-maps
+    the checkpoint into its own address space; the OS page cache shares the
+    actual bytes underneath) — worker processes report this in their ready
+    handshake so tests can assert one mapping per file per process.
+    """
+    with _MAPPING_LOCK:
+        return len(_MAPPINGS)
+
+
+def _reinit_after_fork() -> None:
+    # A forked child inherits the parent's mapping/ledger dicts and — worse —
+    # their locks in whatever state the fork caught them.  Mappings and
+    # ledgers hold process-local state (fds, address-space mappings, lazy
+    # verification bitmaps), so the child starts from scratch: fresh locks,
+    # empty caches.  Re-mapping on first use is nearly free (page cache), and
+    # a cleared ledger only means inherited mmap views lose lazy first-touch
+    # verification in the child — re-loaded ones get their own ledgers.
+    global _MAPPING_LOCK, _LEDGER_LOCK
+    _MAPPING_LOCK = threading.Lock()
+    _LEDGER_LOCK = threading.Lock()
+    _MAPPINGS.clear()
+    _LEDGERS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def _check_dtype(name: str, dtype: np.dtype) -> str:

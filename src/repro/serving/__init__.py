@@ -45,12 +45,13 @@ with backoff, queue caps and shedding, prefetch error relay, checkpoint
 integrity).
 """
 
-from repro.serving.api import GenerationRequest, SubmitOptions
+from repro.serving.api import WORKER_MODES, GenerationRequest, SubmitOptions
 from repro.serving.engine import ServingEngine
 from repro.serving.errors import (
     DeadlineExceeded,
     EngineClosed,
     EngineDraining,
+    EngineFailed,
     PrefetchError,
     QueueFull,
     RequestShed,
@@ -93,7 +94,9 @@ __all__ = [
     "RequestShed",
     "DeadlineExceeded",
     "WorkerCrashed",
+    "EngineFailed",
     "PrefetchError",
+    "WORKER_MODES",
     "FaultInjector",
     "FaultSpec",
     "InjectedCrash",

@@ -26,7 +26,28 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["SubmitOptions", "GenerationRequest", "resolve_submit_options"]
+__all__ = [
+    "SubmitOptions",
+    "GenerationRequest",
+    "resolve_submit_options",
+    "WORKER_MODES",
+    "validate_worker_mode",
+]
+
+#: execution tiers for engine workers — ``"thread"`` (N driver threads over
+#: shared/replicated models, GIL-bound, supports generation) or ``"process"``
+#: (N worker processes over one re-mapped checkpoint, crash-isolated,
+#: GIL-free; one-shot forwards only)
+WORKER_MODES = ("thread", "process")
+
+
+def validate_worker_mode(worker_mode: str) -> str:
+    """Normalise and validate an engine ``worker_mode`` value."""
+    if worker_mode not in WORKER_MODES:
+        raise ValueError(
+            f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}"
+        )
+    return worker_mode
 
 
 @dataclass(frozen=True)
@@ -46,7 +67,10 @@ class SubmitOptions:
         How many times the engine may *requeue* this request after a worker
         crash or a transient forward error before failing the future with
         :class:`~repro.serving.errors.WorkerCrashed` (crashes) or the
-        original exception (forward errors).  Only meaningful for idempotent
+        original exception (forward errors).  One budget covers every crash
+        flavour: thread-worker deaths and — under ``worker_mode="process"``
+        — worker-*process* deaths (``SIGKILL``/segfault/OOM-kill) count
+        against the same ``max_retries``.  Only meaningful for idempotent
         forwards — a retried request re-runs the whole forward.  Default 0:
         fail fast on the first error, exactly the pre-retry behaviour.
     retry_backoff_ms:

@@ -37,6 +37,16 @@ streaming kernels (blocked Linear matmul, Embedding gather-decode — they only
 read ``weight_q``) but not for wrappers that rebind transient weight caches
 in their forward.  Forwards run under the thread-local ``no_grad``.
 
+``worker_mode="process"`` swaps the execution tier under the same scheduler:
+each worker slot becomes a worker *process* (building its own replica — for
+checkpoints, by re-running ``load_quantized(path, ..., mmap=True)`` in its
+own address space, which the OS page cache makes nearly free) plus a parent
+dispatcher thread that ships each batch over a pickle pipe
+(:mod:`repro.serving.ipc`).  That escapes the GIL for CPU-bound forwards and
+extends crash isolation to failures no ``except`` clause ever sees — a
+native-kernel segfault, an OOM kill, ``SIGKILL`` — while keeping results
+bit-identical and every supervision/retry/overload contract unchanged.
+
 Compatibility and padding
 -------------------------
 Two samples can share a forward call when stacking them is meaningful:
@@ -88,6 +98,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import multiprocessing
+import os
+import pickle
+import signal
 import threading
 import time
 from collections import deque
@@ -98,11 +112,23 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
-from repro.serving import faults
-from repro.serving.api import GenerationRequest, SubmitOptions, resolve_submit_options
-from repro.serving.errors import EngineClosed, EngineDraining, QueueFull, WorkerCrashed
+from repro.serving import faults, ipc
+from repro.serving.api import (
+    GenerationRequest,
+    SubmitOptions,
+    resolve_submit_options,
+    validate_worker_mode,
+)
+from repro.serving.errors import (
+    EngineClosed,
+    EngineDraining,
+    EngineFailed,
+    QueueFull,
+    WorkerCrashed,
+)
 from repro.serving.generation import GenerationDriver, GenerationStream
 from repro.serving.scheduler import ContinuousScheduler, Request, compat_key
+from repro.serving.worker_proc import WorkerSpec, worker_main
 
 __all__ = ["ServingEngine"]
 
@@ -117,6 +143,18 @@ def _percentiles_ms(values: Sequence[float]) -> tuple:
     return float(p50) * 1e3, float(p95) * 1e3
 
 
+def _describe_exit(exitcode: Optional[int]) -> str:
+    if exitcode is None:
+        return "exit code unknown"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exit code {exitcode}"
+
+
 class _WorkerSlot:
     """One worker thread plus the state its supervisor reads.
 
@@ -127,6 +165,8 @@ class _WorkerSlot:
     its thread may still be running, but it must stop pulling groups, and any
     late result it produces loses the future-resolution race harmlessly.
     """
+
+    kind = "thread"
 
     __slots__ = (
         "index",
@@ -139,7 +179,7 @@ class _WorkerSlot:
         "abandoned",
     )
 
-    def __init__(self, index: int, replica: Module) -> None:
+    def __init__(self, index: int, replica: Optional[Module]) -> None:
         self.index = index
         self.replica = replica
         self.thread: Optional[threading.Thread] = None
@@ -148,6 +188,77 @@ class _WorkerSlot:
         self.crash_exc: Optional[BaseException] = None
         self.finished = False
         self.abandoned = False
+
+
+class _ProcessSlot(_WorkerSlot):
+    """A worker *process* plus the parent dispatcher thread that drives it.
+
+    ``thread`` (inherited) is the dispatcher: it pulls groups from the
+    scheduler exactly like a thread worker, but ships each batch over the
+    IPC channel instead of calling the model — the model lives only in the
+    child (``replica`` stays ``None``).  A dead pipe raises
+    :class:`~repro.serving.ipc.WorkerProcessDied` (a ``BaseException``),
+    killing the dispatcher so the supervisor's existing crash recovery runs
+    for a process death exactly as it does for a thread death.
+    """
+
+    kind = "process"
+
+    __slots__ = ("proc", "channel", "ready", "ready_info", "init_failed", "seq", "last_exitcode")
+
+    def __init__(self, index: int) -> None:
+        super().__init__(index, None)
+        self.proc = None
+        self.channel: Optional[ipc.Channel] = None
+        self.ready = False
+        self.ready_info: dict = {}
+        self.init_failed = False
+        self.seq = 0
+        self.last_exitcode: Optional[int] = None
+
+    def kill(self) -> None:
+        """SIGKILL the child — the hard-death handle the ``kill`` fault calls."""
+        proc = self.proc
+        if proc is not None and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    def reap(self, timeout: float = 5.0) -> Optional[int]:
+        """Ensure the child is dead *and* waited on (never a zombie); return its exit code.
+
+        Escalates join → terminate → kill, then releases the process object.
+        Idempotent: after the first reap the slot holds only the exit code.
+        """
+        proc = self.proc
+        if proc is None:
+            return self.last_exitcode
+        if self.channel is not None:
+            self.channel.close()
+        proc.join(timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(5.0)
+        self.last_exitcode = proc.exitcode
+        self.proc = None
+        try:
+            proc.close()
+        except Exception:
+            pass
+        return self.last_exitcode
+
+    def shutdown_child(self, timeout: float = 5.0) -> None:
+        """Graceful drain-side shutdown: ask nicely, then reap regardless."""
+        try:
+            if self.channel is not None:
+                self.channel.send("shutdown")
+        except ipc.WorkerProcessDied:
+            pass
+        self.reap(timeout)
 
 
 class ServingEngine:
@@ -226,7 +337,42 @@ class ServingEngine:
         leaves the slot dead after recovering its requests.
     supervision_interval_ms:
         Supervisor polling period — bounds crash-detection latency.
+    worker_mode:
+        ``"thread"`` (default): N driver threads over shared/replicated
+        models — zero IPC cost, GIL-bound, supports :meth:`generate`.
+        ``"process"``: N worker *processes*, each building its own replica
+        (from the checkpoint via :meth:`from_checkpoint`, or from this
+        pickled template model) and serving batches over a pipe — GIL-free
+        scale-out whose crash isolation extends to native-tier segfaults,
+        OOM kills and ``SIGKILL``: any process death surfaces as the same
+        :class:`~repro.serving.errors.WorkerCrashed` + requeue + restart
+        flow as a thread death.  Results are bit-identical to thread/cached
+        mode (same kernels, same replica build).  One-shot forwards only in
+        this mode; :meth:`generate` raises ``ValueError``.
+    worker_start_method:
+        ``multiprocessing`` start method for process workers (``"spawn"``
+        default — safest with threads; ``"fork"``/``"forkserver"`` where the
+        platform supports them; the container layer re-inits its mapping
+        cache after a fork either way).
+    max_worker_restarts:
+        Crash-loop containment for **both** worker modes: how many
+        supervisor restarts the rolling ``restart_window_s`` window admits.
+        On exhaustion the engine stops restarting, fails all pending
+        requests with :class:`~repro.serving.errors.EngineFailed` (cause
+        chained) and ``stats()["state"]`` reads ``"failed"`` — restarting
+        harder cannot heal a replica that kills every worker.  ``None``
+        (default) keeps the pre-PR-10 behaviour: unlimited restarts.
+    restart_window_s:
+        Length of the rolling restart-rate window (seconds).
+    worker_spec:
+        Internal (used by :meth:`from_checkpoint`): how worker processes
+        build their replica; overrides pickling the template model.
     """
+
+    #: consecutive process-worker deaths *before the ready handshake* that
+    #: fail the engine even with unlimited restarts — a child that cannot
+    #: start will not be fixed by starting another one
+    _MAX_NEVER_READY_DEATHS = 3
 
     def __init__(
         self,
@@ -245,7 +391,13 @@ class ServingEngine:
         hung_forward_timeout_ms: Optional[float] = None,
         restart_crashed_workers: bool = True,
         supervision_interval_ms: float = 20.0,
+        worker_mode: str = "thread",
+        worker_start_method: str = "spawn",
+        max_worker_restarts: Optional[int] = None,
+        restart_window_s: float = 30.0,
+        worker_spec: Optional[WorkerSpec] = None,
     ) -> None:
+        worker_mode = validate_worker_mode(worker_mode)
         if isinstance(model, Module):
             replicas = [model]
         else:
@@ -257,7 +409,14 @@ class ServingEngine:
         if int(workers) < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         workers = int(workers)
-        if len(replicas) == 1:
+        if worker_mode == "process":
+            if len(replicas) != 1:
+                raise ValueError(
+                    "worker_mode='process' takes a single template model — worker "
+                    "processes build their own replicas (from the checkpoint or the "
+                    "pickled template), so per-worker replica lists are thread-mode only"
+                )
+        elif len(replicas) == 1:
             replicas = replicas * workers
         elif len(replicas) != workers:
             raise ValueError(
@@ -284,11 +443,20 @@ class ServingEngine:
             raise ValueError(
                 f"supervision_interval_ms must be > 0, got {supervision_interval_ms!r}"
             )
+        if max_worker_restarts is not None and int(max_worker_restarts) < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0 or None, got {max_worker_restarts!r}"
+            )
+        if restart_window_s <= 0:
+            raise ValueError(f"restart_window_s must be > 0, got {restart_window_s!r}")
         self.model = replicas[0]
         self.replicas: List[Module] = replicas
         self.workers = workers
+        self.worker_mode = worker_mode
         self._plan_caches = []
-        if plan_cache:
+        # process mode installs no parent-side plan caches: each worker
+        # process traces/compiles its own (the spec carries the setting)
+        if plan_cache and worker_mode != "process":
             # lazy import: serving stays importable without the graph package
             from repro.graph import install_plan_cache
 
@@ -312,6 +480,13 @@ class ServingEngine:
         )
         self.restart_crashed_workers = bool(restart_crashed_workers)
         self.supervision_interval_s = float(supervision_interval_ms) / 1000.0
+        self.max_worker_restarts = (
+            None if max_worker_restarts is None else int(max_worker_restarts)
+        )
+        self.restart_window_s = float(restart_window_s)
+        self._restart_times: deque = deque()
+        self._never_ready_deaths = 0
+        self._failure_cause: Optional[BaseException] = None
         self._generation_driver: Optional[GenerationDriver] = None
         self._state = "serving"
         self._lock = threading.Lock()
@@ -345,9 +520,33 @@ class ServingEngine:
         #: (due time, tiebreak, request) — requests backing off before a retry
         self._retry_heap: List[Tuple[float, int, Request]] = []
         self._retry_seq = itertools.count()
-        self._slots: List[_WorkerSlot] = [
-            self._start_slot(index, replica) for index, replica in enumerate(replicas)
-        ]
+        self._worker_spec: Optional[WorkerSpec] = None
+        self._mp_ctx = None
+        if worker_mode == "process":
+            self._mp_ctx = multiprocessing.get_context(worker_start_method)
+            if worker_spec is not None:
+                self._worker_spec = worker_spec
+            else:
+                # fail fast in the constructor, not in N children: the
+                # template must cross the process boundary
+                try:
+                    blob = pickle.dumps(self.model)
+                except Exception as exc:
+                    raise TypeError(
+                        "worker_mode='process' requires a picklable model — or use "
+                        "ServingEngine.from_checkpoint(..., worker_mode='process'), "
+                        "which ships the checkpoint path instead of the model"
+                    ) from exc
+                self._worker_spec = WorkerSpec(
+                    model_pickle=blob, plan_cache=bool(plan_cache)
+                )
+            self._slots: List[_WorkerSlot] = [
+                self._start_process_slot(index) for index in range(workers)
+            ]
+        else:
+            self._slots = [
+                self._start_slot(index, replica) for index, replica in enumerate(replicas)
+            ]
         self._stop_supervisor = threading.Event()
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-serving-supervisor", daemon=True
@@ -367,26 +566,61 @@ class ServingEngine:
         block_channels: Optional[int] = None,
         prefetch: Union[bool, str, None] = True,
         workers: int = 1,
+        worker_mode: str = "thread",
         **engine_kwargs,
     ) -> "ServingEngine":
         """The full cold-start wiring: mmap load → serving mode → engine.
 
-        Loads ``workers`` replicas of the packed checkpoint zero-copy (codes
-        paged on first touch; with ``workers > 1`` and ``mmap=True`` the
-        replicas share **one** file mapping via ``share_views=True``, so the
-        packed bytes are mapped exactly once per process), puts every wrapper
-        into ``serving_mode`` with the requested block size and prefetch
-        setting (``prefetch="pipeline"`` enables cross-layer pipelined block
-        decode), and returns a running engine with one worker per replica.
+        ``worker_mode="thread"`` (default) loads ``workers`` replicas of the
+        packed checkpoint zero-copy (codes paged on first touch; with
+        ``workers > 1`` and ``mmap=True`` the replicas share **one** file
+        mapping via ``share_views=True``, so the packed bytes are mapped
+        exactly once per process), puts every wrapper into ``serving_mode``
+        with the requested block size and prefetch setting
+        (``prefetch="pipeline"`` enables cross-layer pipelined block decode),
+        and returns a running engine with one worker per replica.
+
+        ``worker_mode="process"`` instead ships the *checkpoint path* to
+        ``workers`` worker processes: each child re-runs
+        ``load_quantized(path, model_factory, mmap=True)`` in its own address
+        space (one mapping per process; the OS page cache shares the packed
+        bytes machine-wide, so N processes still cost one physical copy) and
+        serves batches over IPC — crash-isolated and GIL-free.
+        ``model_factory`` must then be picklable (a module-level callable,
+        not a lambda), because the spec crosses the process boundary.  The
+        parent keeps one replica of its own as ``engine.model`` for
+        inspection; it never serves requests.
         """
         # local import: repro.serialization pulls the quantization workflow,
         # which this module must not require at import time
         from repro.quantization.workflow import set_serving_mode
         from repro.serialization import load_quantized
 
+        worker_mode = validate_worker_mode(worker_mode)
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if worker_mode == "process":
+            spec = WorkerSpec(
+                checkpoint_path=os.fspath(path),
+                model_factory=model_factory,
+                mmap=bool(mmap),
+                serving_mode=serving_mode,
+                block_channels=block_channels,
+                prefetch=prefetch,
+                plan_cache=bool(engine_kwargs.get("plan_cache", "auto")),
+            )
+            template = load_quantized(path, model_factory, mmap=mmap)
+            set_serving_mode(
+                template, serving_mode, block_channels=block_channels, prefetch=prefetch
+            )
+            return cls(
+                template,
+                workers=workers,
+                worker_mode="process",
+                worker_spec=spec,
+                **engine_kwargs,
+            )
         replicas = []
         for _ in range(workers):
             replica = load_quantized(
@@ -461,21 +695,39 @@ class ServingEngine:
         if failed:
             with self._lock:
                 self._stats["failed_requests"] += failed
+        # zero-zombie guarantee: every worker process is dead *and* waited on
+        # before close() returns (the drained dispatchers already shut their
+        # children down; this catches drain timeouts and crashed dispatchers)
+        for slot in list(self._slots):
+            if isinstance(slot, _ProcessSlot):
+                remaining = (
+                    5.0 if deadline is None else max(0.5, deadline - time.monotonic())
+                )
+                slot.reap(timeout=remaining)
 
     @property
     def state(self) -> str:
-        """``"serving"``, ``"draining"`` or ``"closed"``."""
+        """``"serving"``, ``"draining"``, ``"failed"`` or ``"closed"``."""
         with self._lock:
             return self._state
 
     @property
     def alive_workers(self) -> int:
-        """How many worker threads are currently running (for liveness checks)."""
-        return sum(
-            slot.thread.is_alive()
-            for slot in self._slots
-            if slot.thread is not None and not slot.abandoned
-        )
+        """How many workers are currently serving (for liveness checks).
+
+        A process worker counts only while *both* halves live: its parent
+        dispatcher thread and the worker process itself.
+        """
+        alive = 0
+        for slot in self._slots:
+            if slot.abandoned or slot.thread is None or not slot.thread.is_alive():
+                continue
+            if isinstance(slot, _ProcessSlot):
+                proc = slot.proc
+                if proc is None or not proc.is_alive():
+                    continue
+            alive += 1
+        return alive
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -534,6 +786,8 @@ class ServingEngine:
         with self._lock:
             if self._state == "closed":
                 raise EngineClosed("cannot submit to a closed ServingEngine")
+            if self._state == "failed":
+                raise self._failed_error_locked()
             if self._state == "draining":
                 raise EngineDraining(
                     "engine is draining toward shutdown; new requests are rejected"
@@ -613,6 +867,12 @@ class ServingEngine:
         preempted (cache rows released, decoded tokens kept) and restored
         later by replaying prompt+suffix as one prefill.
         """
+        if self.worker_mode == "process":
+            raise ValueError(
+                "generate() is not supported under worker_mode='process' (the decode "
+                "state lives parent-side); build the engine with worker_mode='thread' "
+                "for generation workloads"
+            )
         # local import: repro.serving must stay importable without the model zoo
         from repro.models.transformer import coerce_prompt
 
@@ -632,6 +892,8 @@ class ServingEngine:
         with self._lock:
             if self._state == "closed":
                 raise EngineClosed("cannot submit to a closed ServingEngine")
+            if self._state == "failed":
+                raise self._failed_error_locked()
             if self._state == "draining":
                 raise EngineDraining(
                     "engine is draining toward shutdown; new requests are rejected"
@@ -676,7 +938,25 @@ class ServingEngine:
         snapshot["workers"] = self.workers
         snapshot["alive_workers"] = self.alive_workers
         snapshot["state"] = self.state
+        snapshot["worker_mode"] = self.worker_mode
         snapshot["pending"] = self._scheduler.pending()
+        if self.worker_mode == "process":
+            details = []
+            for slot in list(self._slots):
+                if not isinstance(slot, _ProcessSlot):
+                    continue
+                proc = slot.proc
+                details.append(
+                    {
+                        "index": slot.index,
+                        "pid": slot.ready_info.get("pid", proc.pid if proc else None),
+                        "alive": bool(proc is not None and proc.is_alive()),
+                        "ready": slot.ready,
+                        "exitcode": slot.last_exitcode,
+                        "mapped_files": slot.ready_info.get("mapped_files"),
+                    }
+                )
+            snapshot["process_workers"] = details
         occupancy = float(np.mean(sizes)) / self.max_batch_size if sizes else 0.0
         snapshot["occupancy_mean"] = occupancy
         snapshot["queue_wait_p50_ms"], snapshot["queue_wait_p95_ms"] = _percentiles_ms(waits)
@@ -740,6 +1020,135 @@ class ServingEngine:
             # spam stderr for a death that is handled.
             slot.crash_exc = exc
 
+    # -- process workers ------------------------------------------------
+    def _start_process_slot(self, index: int) -> _ProcessSlot:
+        slot = _ProcessSlot(index)
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        slot.proc = self._mp_ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._worker_spec),
+            name=f"repro-serving-proc-{index}",
+            daemon=True,
+        )
+        slot.proc.start()
+        # close the parent's copy of the child end: the child's death must
+        # surface as EOF on our end, which it cannot while we hold this open
+        child_conn.close()
+        slot.channel = ipc.Channel(parent_conn)
+        slot.thread = threading.Thread(
+            target=self._work_process,
+            args=(slot,),
+            name=f"repro-serving-{index}",
+            daemon=True,
+        )
+        slot.thread.start()
+        return slot
+
+    def _work_process(self, slot: _ProcessSlot) -> None:
+        """Dispatcher loop: the process-mode twin of :meth:`_work`.
+
+        Pulls groups exactly like a thread worker; :meth:`_forward_group`
+        routes the actual model call over IPC.  A dead pipe raises
+        :class:`~repro.serving.ipc.WorkerProcessDied` (``BaseException``),
+        landing in the same crash handler — the supervisor cannot tell a
+        process death from a thread death, by design.
+        """
+        try:
+            self._await_ready(slot)
+            while True:
+                group = self._scheduler.next_group()
+                if group is None:
+                    break
+                if slot.abandoned:
+                    # the supervisor retired this slot (e.g. idle child died)
+                    # while we were blocked on the scheduler: hand the group
+                    # to the replacement instead of a dead pipe
+                    self._requeue_group(group)
+                    return
+                slot.inflight = tuple(group)
+                slot.forward_started = time.monotonic()
+                self._forward_group(group, slot)
+                slot.inflight = ()
+                slot.forward_started = None
+                if slot.abandoned:
+                    return
+            slot.finished = True
+            slot.shutdown_child()
+        except BaseException as exc:  # noqa: BLE001 - the supervisor owns recovery
+            slot.crash_exc = exc
+
+    def _await_ready(self, slot: _ProcessSlot) -> None:
+        """Block until the child reports ready (or its build failed, or we stop)."""
+        while True:
+            if slot.channel.poll(0.1):
+                kind, _seq, payload = slot.channel.recv()
+                if kind == "ready":
+                    slot.ready = True
+                    slot.ready_info = payload if isinstance(payload, dict) else {}
+                    with self._lock:
+                        self._never_ready_deaths = 0
+                    return
+                if kind == "init_error":
+                    # restarting cannot fix a replica that will not build —
+                    # mark it so recovery fails the engine instead of looping
+                    slot.init_failed = True
+                    raise ipc.WorkerProcessDied(
+                        f"worker process {slot.index} failed to build its replica"
+                    ) from payload
+                continue  # unknown handshake frames are ignored
+            if slot.abandoned or self._stop_supervisor.is_set():
+                return
+            with self._lock:
+                if self._state in ("closed", "failed"):
+                    return
+
+    def _requeue_group(self, group: Sequence[Request]) -> None:
+        failed = 0
+        for request in group:
+            if request.future.done():
+                continue
+            try:
+                self._scheduler.add(request)
+            except (EngineClosed, QueueFull):
+                failed += request.fail(
+                    WorkerCrashed(
+                        "worker slot was retired before this request could be requeued"
+                    )
+                )
+        if failed:
+            with self._lock:
+                self._stats["failed_requests"] += failed
+
+    def _ipc_forward(self, slot: _ProcessSlot, stacked: np.ndarray) -> np.ndarray:
+        """One batch round trip to the worker process; returns the output array.
+
+        The ``ipc.roundtrip`` fault site fires here with ``kill=`` wired to
+        SIGKILL the child — the injected hard death is then *observed* the
+        same way a real one is: the pipe EOFs and
+        :class:`~repro.serving.ipc.WorkerProcessDied` kills the dispatcher.
+        An ordinary exception from the child re-raises here and stays scoped
+        to the group (thread-mode semantics).
+        """
+        faults.fire(
+            "ipc.roundtrip",
+            worker=slot.index,
+            kill=slot.kill,
+            pid=slot.proc.pid if slot.proc is not None else None,
+        )
+        slot.seq += 1
+        seq = slot.seq
+        slot.channel.send("forward", seq, stacked)
+        while True:
+            kind, rseq, payload = slot.channel.recv()
+            if rseq != seq:
+                continue  # stale frame from a superseded round trip
+            if kind == "result":
+                output, _child_forward_s = payload
+                return np.asarray(output)
+            if kind == "error":
+                raise payload
+            raise ipc.WorkerProcessDied(f"unexpected IPC reply kind {kind!r}")
+
     def _forward_group(self, requests: List[Request], slot: _WorkerSlot) -> None:
         model = slot.replica
         # transition every future to RUNNING; a request cancelled while it
@@ -771,10 +1180,15 @@ class ServingEngine:
             else:
                 stacked = np.stack(samples)
             t0 = time.perf_counter()
-            with no_grad():
-                output = model(Tensor(stacked))
+            if isinstance(slot, _ProcessSlot):
+                # forward_s then includes the IPC round trip — the honest
+                # per-group cost of process mode, not just child compute
+                output = self._ipc_forward(slot, stacked)
+            else:
+                with no_grad():
+                    output = model(Tensor(stacked))
+                output = output.data if isinstance(output, Tensor) else np.asarray(output)
             forward_s = time.perf_counter() - t0
-            output = output.data if isinstance(output, Tensor) else np.asarray(output)
             if output.shape[0] != len(samples):
                 raise RuntimeError(
                     f"model returned leading dimension {output.shape[0]} for a batch of "
@@ -871,13 +1285,75 @@ class ServingEngine:
                         self._stats["failed_requests"] += 1
 
     def _replace_slot(self, slot: _WorkerSlot) -> None:
-        replacement = self._start_slot(slot.index, slot.replica)
+        if not self._restart_allowed():
+            self._fail_engine(
+                f"worker restarts exceeded max_worker_restarts={self.max_worker_restarts} "
+                f"within {self.restart_window_s:g} s — the replica (or checkpoint) is "
+                "poisoning every worker started against it",
+                slot.crash_exc,
+            )
+            return
+        if isinstance(slot, _ProcessSlot):
+            replacement: _WorkerSlot = self._start_process_slot(slot.index)
+        else:
+            replacement = self._start_slot(slot.index, slot.replica)
         with self._lock:
             self._stats["worker_restarts"] += 1
             for position, existing in enumerate(self._slots):
                 if existing is slot:
                     self._slots[position] = replacement
                     break
+
+    def _restart_allowed(self) -> bool:
+        """Crash-loop containment: admit this restart into the rolling window?"""
+        if self.max_worker_restarts is None:
+            return True
+        now = time.monotonic()
+        with self._lock:
+            if self._state == "failed":
+                return False
+            while self._restart_times and now - self._restart_times[0] > self.restart_window_s:
+                self._restart_times.popleft()
+            if len(self._restart_times) >= self.max_worker_restarts:
+                return False
+            self._restart_times.append(now)
+            return True
+
+    def _failed_error_locked(self) -> EngineFailed:
+        """Build the typed rejection for a failed engine (call with the lock held)."""
+        error = EngineFailed(
+            "engine is in the failed state (worker crash-loop exhausted "
+            f"max_worker_restarts={self.max_worker_restarts}); build a new engine"
+        )
+        error.__cause__ = self._failure_cause
+        return error
+
+    def _fail_engine(self, reason: str, cause: Optional[BaseException]) -> None:
+        """Stop restarting, fail every pending request typed, refuse new work.
+
+        Terminal (until ``close()``): restarting harder cannot heal whatever
+        kills every worker, so the engine stops burning restarts and makes
+        the failure loud instead.  Idempotent; a live worker still finishing
+        a group resolves its futures normally.
+        """
+        with self._lock:
+            if self._state in ("closed", "failed"):
+                return
+            self._state = "failed"
+            self._failure_cause = cause
+        self._scheduler.close()
+        leftovers = self._scheduler.drain_pending()
+        with self._lock:
+            while self._retry_heap:
+                leftovers.append(heapq.heappop(self._retry_heap)[2])
+        failed = 0
+        for request in leftovers:
+            error = EngineFailed(f"engine entered the failed state: {reason}")
+            error.__cause__ = cause
+            failed += request.fail(error)
+        if failed:
+            with self._lock:
+                self._stats["failed_requests"] += failed
 
     def _supervise(self) -> None:
         while not self._stop_supervisor.wait(self.supervision_interval_s):
@@ -894,6 +1370,19 @@ class ServingEngine:
             thread = slot.thread
             if thread is not None and thread.is_alive():
                 if (
+                    isinstance(slot, _ProcessSlot)
+                    and slot.ready
+                    and not slot.inflight
+                    and slot.proc is not None
+                    and slot.proc.exitcode is not None
+                ):
+                    # the child died *between* forwards: no round trip is in
+                    # flight to trip over the EOF, so the dispatcher would
+                    # block on the scheduler forever — retire the slot here
+                    # (a mid-forward death surfaces through the pipe instead)
+                    self._abandon_dead_process_slot(slot)
+                    continue
+                if (
                     self.hung_forward_timeout_s is not None
                     and slot.forward_started is not None
                     and now - slot.forward_started > self.hung_forward_timeout_s
@@ -905,11 +1394,13 @@ class ServingEngine:
     def _abandon_hung_slot(self, slot: _WorkerSlot) -> None:
         """Write off a worker stuck in one forward; a replacement takes its slot.
 
-        The hung thread itself cannot be killed — it is left to finish (or
-        never finish) as a zombie that stops pulling groups.  If it does
-        finish, its late results lose the future-resolution race harmlessly:
-        recovered requests were either failed (fail wins) or requeued (a
-        late success just resolves the future first, bit-identically).
+        A hung *thread* cannot be killed — it is left to finish (or never
+        finish) as a zombie that stops pulling groups; if it does finish, its
+        late results lose the future-resolution race harmlessly: recovered
+        requests were either failed (fail wins) or requeued (a late success
+        just resolves the future first, bit-identically).  A hung *process*
+        can be killed, so it is: SIGKILL, then reap — process mode never
+        leaks a runaway forward.
         """
         slot.abandoned = True
         inflight, slot.inflight = list(slot.inflight), ()
@@ -921,6 +1412,22 @@ class ServingEngine:
             f"{self.hung_forward_timeout_s * 1e3:.0f} ms"
         )
         self._recover_group(inflight, error)
+        if isinstance(slot, _ProcessSlot):
+            slot.kill()
+            slot.reap(timeout=2.0)
+        if self.restart_crashed_workers:
+            self._replace_slot(slot)
+
+    def _abandon_dead_process_slot(self, slot: _ProcessSlot) -> None:
+        """Retire a slot whose child died while idle (no in-flight group to recover)."""
+        slot.abandoned = True
+        exitcode = slot.reap(timeout=2.0)
+        slot.crash_exc = ipc.WorkerProcessDied(
+            f"worker process {slot.index} exited while idle ({_describe_exit(exitcode)})",
+            exitcode,
+        )
+        with self._lock:
+            self._stats["worker_crashes"] += 1
         if self.restart_crashed_workers:
             self._replace_slot(slot)
 
@@ -929,8 +1436,37 @@ class ServingEngine:
         inflight, slot.inflight = list(slot.inflight), ()
         with self._lock:
             self._stats["worker_crashes"] += 1
-        error = WorkerCrashed(f"worker {slot.index} died mid-forward")
+        if isinstance(slot, _ProcessSlot):
+            exitcode = slot.reap(timeout=2.0)
+            error = WorkerCrashed(
+                f"worker process {slot.index} died mid-forward ({_describe_exit(exitcode)})"
+            )
+        else:
+            error = WorkerCrashed(f"worker {slot.index} died mid-forward")
         error.__cause__ = slot.crash_exc
         self._recover_group(inflight, error)
+        if isinstance(slot, _ProcessSlot) and slot.init_failed:
+            # the replica will not build in *any* child; restarting is a loop
+            self._fail_engine(
+                f"worker process {slot.index} cannot build its model replica",
+                error,
+            )
+            return
+        if isinstance(slot, _ProcessSlot) and not slot.ready:
+            # died before ever handshaking: the child could not even start
+            # (spawn re-import failure, missing interpreter state, OOM at
+            # import).  Unlike a mid-forward death, restarting cannot help
+            # once it repeats — contain it even with unlimited restarts.
+            with self._lock:
+                self._never_ready_deaths += 1
+                doomed = self._never_ready_deaths >= self._MAX_NEVER_READY_DEATHS
+            if doomed:
+                self._fail_engine(
+                    f"{self._MAX_NEVER_READY_DEATHS} consecutive worker processes "
+                    "died before becoming ready — worker startup is broken in this "
+                    "environment, so restarting is a loop",
+                    error,
+                )
+                return
         if self.restart_crashed_workers:
             self._replace_slot(slot)

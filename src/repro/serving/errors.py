@@ -16,6 +16,9 @@ exception                     meaning
 :class:`DeadlineExceeded`     queue-time deadline passed before a forward started
 :class:`WorkerCrashed`        the worker (or generation tick thread) serving the
                               request died and its retry budget is exhausted
+:class:`EngineFailed`         worker crash-looping exhausted the engine's
+                              ``max_worker_restarts`` budget; the engine stopped
+                              restarting and failed all pending work
 :class:`PrefetchError`        a background block-decode worker failed; chained
                               ``from`` the original decode exception
 ============================  ====================================================
@@ -37,6 +40,7 @@ __all__ = [
     "RequestShed",
     "DeadlineExceeded",
     "WorkerCrashed",
+    "EngineFailed",
     "PrefetchError",
 ]
 
@@ -82,6 +86,20 @@ class WorkerCrashed(ServingError):
     a dead worker could not drain, and by submissions to a crashed
     generation driver.  ``__cause__`` carries the crashing exception when it
     was observable.
+    """
+
+
+class EngineFailed(ServingError):
+    """The engine gave up restarting crash-looping workers and went dead.
+
+    Raised once worker restarts exceed ``max_worker_restarts`` within the
+    rolling ``restart_window_s`` window: a replica (or checkpoint) that kills
+    every worker started against it cannot be healed by restarting harder.
+    All pending requests fail with this error (``__cause__`` carries the last
+    crash), ``stats()["state"]`` reads ``"failed"``, and new submissions are
+    rejected with it — the caller must build a fresh engine.  Also raised
+    when a worker process reports that it cannot build its replica at all
+    (e.g. an unreadable checkpoint), which restarting cannot fix either.
     """
 
 

@@ -21,7 +21,14 @@ site                     fired
 ``container.read_span``  per payload span on a copied checkpoint read, with
                          ``buffer=`` the mutable span bytes (``corrupt``
                          flips one byte, exercising integrity verification)
+``ipc.roundtrip``        in an engine dispatcher thread, just before the
+                         batch is sent to a worker process, with ``kill=``
+                         a handle that SIGKILLs that process
 =======================  ====================================================
+
+The same table is importable as :data:`KNOWN_SITES`, and a configured
+injector lists its own sites via :meth:`FaultInjector.sites` — tests assert
+against these instead of hard-coding strings.
 
 Fault kinds:
 
@@ -33,7 +40,14 @@ Fault kinds:
 * ``"slow"`` — sleeps ``delay_s``, modelling a hung/slow forward for
   heartbeat supervision to detect;
 * ``"corrupt"`` — flips one byte of the ``buffer=`` keyword argument
-  (bytearray or writable uint8 array), modelling a corrupted span read.
+  (bytearray or writable uint8 array), modelling a corrupted span read;
+* ``"kill"`` — hard process death: calls the site's ``kill=`` context handle
+  (the engine wires it to ``SIGKILL`` the worker process), modelling a
+  segfault/OOM-kill that no ``except`` clause ever sees.  **Process-only**:
+  a thread worker shares the engine's address space, and the honest
+  thread-mode equivalent (``os._exit``) would take the whole engine down —
+  so at a site with no ``kill=`` handle the injector refuses with an
+  ordinary ``RuntimeError`` instead of approximating.
 
 Determinism: ``on_calls={3}`` fires on exactly the 3rd call to that site
 (1-based, counted per site across all threads), so a test provokes a crash
@@ -60,6 +74,7 @@ __all__ = [
     "FaultInjector",
     "InjectedCrash",
     "InjectedError",
+    "KNOWN_SITES",
     "install",
     "uninstall",
     "active_injector",
@@ -67,7 +82,16 @@ __all__ = [
     "fire",
 ]
 
-_KINDS = ("crash", "error", "slow", "corrupt")
+_KINDS = ("crash", "error", "slow", "corrupt", "kill")
+
+#: every site instrumented by this package (callers may fire their own)
+KNOWN_SITES = {
+    "engine.forward": "engine worker, group futures RUNNING, before the model call",
+    "generation.tick": "generation driver, before each forward_step",
+    "prefetch.decode": "prefetch worker, before each block decode",
+    "container.read_span": "per payload span on a copied checkpoint read",
+    "ipc.roundtrip": "engine dispatcher, before the batch crosses to a worker process",
+}
 
 
 class InjectedCrash(BaseException):
@@ -153,6 +177,10 @@ class FaultInjector:
         self.calls: Dict[str, int] = {}
         self.fired: Dict[str, int] = {}
 
+    def sites(self) -> tuple:
+        """The sites this injector is configured to fault, sorted (for tests)."""
+        return tuple(sorted(self._faults))
+
     def fire(self, site: str, **ctx) -> None:
         """Evaluate ``site``'s rules; may raise, sleep or mutate ``ctx``."""
         with self._lock:
@@ -178,9 +206,24 @@ class FaultInjector:
         if chosen.kind == "corrupt":
             self._corrupt(site, call, ctx)
             return
+        if chosen.kind == "kill":
+            self._kill(site, call, ctx)
+            return
         if chosen.kind == "error":
             raise InjectedError(f"injected transient error at {site} (call {call})")
         raise InjectedCrash(f"injected worker crash at {site} (call {call})")
+
+    def _kill(self, site: str, call: int, ctx: dict) -> None:
+        kill = ctx.get("kill")
+        if not callable(kill):
+            # process-only by design: a thread worker shares the engine's
+            # address space, and the honest equivalent (os._exit) would kill
+            # the engine itself — refuse loudly instead of approximating
+            raise RuntimeError(
+                f"kill fault at {site} (call {call}) has no kill= handle: hard "
+                "process death is only injectable under worker_mode='process'"
+            )
+        kill()
 
     def _corrupt(self, site: str, call: int, ctx: dict) -> None:
         buffer = ctx.get("buffer")

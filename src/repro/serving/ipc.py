@@ -1,0 +1,137 @@
+"""Pickle-framed IPC between the serving engine and its worker processes.
+
+The process-worker tier (``ServingEngine(worker_mode="process")``) moves the
+model call across a process boundary: the engine's dispatcher thread sends a
+stacked batch down a duplex pipe, the child runs the forward, and the result
+(or a typed error) comes back.  This module owns that boundary:
+
+* :class:`Channel` — a thin framing layer over a
+  ``multiprocessing.connection.Connection``: every message is one pickled
+  ``(kind, seq, payload)`` tuple, and every transport-level failure (EOF,
+  broken pipe, reset, an unpicklable frame) is normalised into
+  :class:`WorkerProcessDied`;
+* :class:`WorkerProcessDied` — deliberately a ``BaseException``: a dead pipe
+  means the worker *process* is gone (``SIGKILL``, OOM-kill, segfault in a
+  native kernel, ``os._exit``), which must kill the dispatcher thread and
+  reach the supervisor's crash-recovery path, not be absorbed by the
+  per-request ``except Exception`` handlers that route ordinary forward
+  errors to futures (the same contract as
+  :class:`~repro.serving.faults.InjectedCrash`);
+* :class:`RemoteError` + :func:`wrap_exception` — an exception raised in the
+  child may not survive pickling (closures, locks, exotic ``__init__``
+  signatures); ``wrap_exception`` ships it as-is when it pickles and as a
+  :class:`RemoteError` carrying the formatted remote traceback when it does
+  not, so the parent always gets *an* exception with the original story.
+
+Message kinds used by the worker protocol (see
+:mod:`repro.serving.worker_proc`):
+
+==============  =============================================================
+kind            payload
+==============  =============================================================
+``ready``       child finished building its replica: ``{"pid", "mapped_files"}``
+``init_error``  child failed to build its replica: the (wrapped) exception
+``forward``     parent → child: the stacked batch (one ``np.ndarray``)
+``result``      child → parent: ``(output array, forward_seconds)``
+``error``       child → parent: the (wrapped) ordinary forward exception
+``shutdown``    parent → child: drain complete, exit cleanly
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any, Optional, Tuple
+
+__all__ = ["Channel", "WorkerProcessDied", "RemoteError", "wrap_exception"]
+
+
+class WorkerProcessDied(BaseException):
+    """The pipe to a worker process broke: the process is gone.
+
+    A ``BaseException`` on purpose — see the module docstring.  ``exitcode``
+    carries the child's exit status when the caller knows it (negative values
+    are the killing signal, POSIX convention).
+    """
+
+    def __init__(self, message: str, exitcode: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class RemoteError(RuntimeError):
+    """A worker-process exception that could not itself be pickled.
+
+    Carries the remote type name and formatted traceback so the failure is
+    debuggable from the parent even though the original object never crossed
+    the pipe.
+    """
+
+    def __init__(self, remote_type: str, message: str, remote_traceback: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:  # keep the remote traceback one print away
+        return f"{super().__str__()}\n--- remote traceback ---\n{self.remote_traceback}"
+
+
+def wrap_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round trip, else a :class:`RemoteError`."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        return RemoteError(type(exc).__name__, str(exc), tb)
+
+
+class Channel:
+    """Typed send/recv framing over one duplex ``Connection``.
+
+    All transport failures surface as :class:`WorkerProcessDied`; the channel
+    never half-works.  Thread-compatibility contract: one sender and one
+    receiver at a time (the engine uses one dispatcher thread per channel,
+    the child is single-threaded).
+    """
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, kind: str, seq: int = 0, payload: Any = None) -> None:
+        try:
+            self._conn.send((kind, seq, payload))
+        except WorkerProcessDied:
+            raise
+        except Exception as exc:
+            raise WorkerProcessDied(f"IPC send of {kind!r} failed: {exc!r}") from exc
+
+    def recv(self) -> Tuple[str, int, Any]:
+        try:
+            message = self._conn.recv()
+        except WorkerProcessDied:
+            raise
+        except EOFError as exc:
+            raise WorkerProcessDied("worker process closed its IPC pipe (EOF)") from exc
+        except Exception as exc:
+            raise WorkerProcessDied(f"IPC receive failed: {exc!r}") from exc
+        if not isinstance(message, tuple) or len(message) != 3:
+            raise WorkerProcessDied(f"malformed IPC frame: {type(message).__name__}")
+        return message
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        try:
+            return self._conn.poll(timeout)
+        except Exception:
+            # a dead pipe is "readable" — the next recv turns it into a
+            # WorkerProcessDied with the real story
+            return True
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
